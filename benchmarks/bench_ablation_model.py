@@ -1,0 +1,10 @@
+"""X1 — model-form ablation (splines/interactions/linear).
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_x1(run_paper_experiment):
+    result = run_paper_experiment("X1")
+    assert result.id == "X1"

@@ -1,0 +1,10 @@
+"""X2 — training sample-size ablation.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_x2(run_paper_experiment):
+    result = run_paper_experiment("X2")
+    assert result.id == "X2"

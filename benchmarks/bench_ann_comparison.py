@@ -1,0 +1,10 @@
+"""X6 — regression vs neural-network comparator (Ipek et al.).
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_x6(run_paper_experiment):
+    result = run_paper_experiment("X6")
+    assert result.id == "X6"

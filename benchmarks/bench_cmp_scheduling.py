@@ -1,0 +1,10 @@
+"""X10 — optimal workload scheduling on a heterogeneous CMP.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_x10(run_paper_experiment):
+    result = run_paper_experiment("X10")
+    assert result.id == "X10"

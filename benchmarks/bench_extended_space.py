@@ -1,0 +1,10 @@
+"""X7 — future-work space: associativity + issue discipline.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_x7(run_paper_experiment):
+    result = run_paper_experiment("X7")
+    assert result.id == "X7"

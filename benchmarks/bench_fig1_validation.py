@@ -1,0 +1,10 @@
+"""Figure 1 — error boxplots for 100 random validation designs.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_f1(run_paper_experiment):
+    result = run_paper_experiment("F1")
+    assert result.id == "F1"

@@ -1,0 +1,10 @@
+"""Figure 2 — predicted delay/power characterization of the space.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_f2(run_paper_experiment):
+    result = run_paper_experiment("F2")
+    assert result.id == "F2"

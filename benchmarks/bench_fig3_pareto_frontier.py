@@ -1,0 +1,10 @@
+"""Figure 3 — modeled vs simulated pareto optima.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_f3(run_paper_experiment):
+    result = run_paper_experiment("F3")
+    assert result.id == "F3"

@@ -1,0 +1,10 @@
+"""Figure 4 — error distributions on the pareto frontier.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_f4(run_paper_experiment):
+    result = run_paper_experiment("F4")
+    assert result.id == "F4"

@@ -1,0 +1,10 @@
+"""Figure 5a — original line plot vs enhanced boxplots per depth.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_f5a(run_paper_experiment):
+    result = run_paper_experiment("F5a")
+    assert result.id == "F5a"

@@ -1,0 +1,10 @@
+"""Figure 5b — d-L1 sizes among 95th-percentile designs.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_f5b(run_paper_experiment):
+    result = run_paper_experiment("F5b")
+    assert result.id == "F5b"

@@ -1,0 +1,10 @@
+"""Figure 6 — predicted vs simulated efficiency for both analyses.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_f6(run_paper_experiment):
+    result = run_paper_experiment("F6")
+    assert result.id == "F6"

@@ -1,0 +1,10 @@
+"""Figure 7 — decomposed performance and power validation.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_f7(run_paper_experiment):
+    result = run_paper_experiment("F7")
+    assert result.id == "F7"

@@ -1,0 +1,10 @@
+"""Figure 8 — delay/power of optima vs compromises.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_f8(run_paper_experiment):
+    result = run_paper_experiment("F8")
+    assert result.id == "F8"

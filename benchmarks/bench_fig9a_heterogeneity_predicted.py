@@ -1,0 +1,10 @@
+"""Figure 9a — predicted efficiency gains vs cluster count.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_f9a(run_paper_experiment):
+    result = run_paper_experiment("F9a")
+    assert result.id == "F9a"

@@ -1,0 +1,10 @@
+"""Figure 9b — simulated efficiency gains vs cluster count.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_f9b(run_paper_experiment):
+    result = run_paper_experiment("F9b")
+    assert result.id == "F9b"

@@ -1,0 +1,10 @@
+"""X12 — zero-training mechanistic model vs trained regression.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_x12(run_paper_experiment):
+    result = run_paper_experiment("X12")
+    assert result.id == "X12"

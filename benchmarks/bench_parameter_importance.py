@@ -1,0 +1,10 @@
+"""X11 — drop-one parameter importance per benchmark.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_x11(run_paper_experiment):
+    result = run_paper_experiment("X11")
+    assert result.id == "X11"

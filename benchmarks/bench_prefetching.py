@@ -1,0 +1,10 @@
+"""X8 — idealized next-line prefetching study.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_x8(run_paper_experiment):
+    result = run_paper_experiment("X8")
+    assert result.id == "X8"

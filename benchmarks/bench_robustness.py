@@ -1,0 +1,10 @@
+"""X9 — bootstrap robustness of study conclusions.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_x9(run_paper_experiment):
+    result = run_paper_experiment("X9")
+    assert result.id == "X9"

@@ -1,0 +1,10 @@
+"""X5 — UAR vs stratified vs Halton sampling.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_x5(run_paper_experiment):
+    result = run_paper_experiment("X5")
+    assert result.id == "X5"

@@ -1,0 +1,10 @@
+"""X3 — regression-guided heuristic search vs exhaustive prediction.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_x3(run_paper_experiment):
+    result = run_paper_experiment("X3")
+    assert result.id == "X3"

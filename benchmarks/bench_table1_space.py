@@ -1,0 +1,10 @@
+"""Table 1 — the design space definition.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_t1(run_paper_experiment):
+    result = run_paper_experiment("T1")
+    assert result.id == "T1"

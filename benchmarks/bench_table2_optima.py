@@ -1,0 +1,10 @@
+"""Table 2 — bips^3/w maximizing per-benchmark architectures.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_t2(run_paper_experiment):
+    result = run_paper_experiment("T2")
+    assert result.id == "T2"

@@ -1,0 +1,10 @@
+"""Table 3 — the POWER4-like baseline architecture.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_t3(run_paper_experiment):
+    result = run_paper_experiment("T3")
+    assert result.id == "T3"

@@ -1,0 +1,10 @@
+"""Table 4 — K=4 compromise architectures.
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_t4(run_paper_experiment):
+    result = run_paper_experiment("T4")
+    assert result.id == "T4"

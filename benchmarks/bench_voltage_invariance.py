@@ -1,0 +1,10 @@
+"""X4 — bips^3/w voltage invariance (footnote 2).
+
+Regenerates the artifact's rows/series (printed) and times the study code
+behind it; the campaign and model fit are session-shared and cached.
+"""
+
+
+def test_x4(run_paper_experiment):
+    result = run_paper_experiment("X4")
+    assert result.id == "X4"

@@ -1,0 +1,53 @@
+"""Benchmark fixtures.
+
+Each ``bench_*.py`` regenerates one paper artifact (see DESIGN.md's
+experiment index) and reports its wall time via pytest-benchmark.  The
+expensive shared phase — the simulation campaign and model fit — is built
+once per session through the shared study context and cached on disk, so
+individual benches time the *study* work, not the substrate.
+
+Scale: ``REPRO_SCALE`` (ci/default/paper); benches default to ``ci`` so the
+whole suite runs in seconds.  Run with ``REPRO_SCALE=default`` for the
+EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import run_experiment, shared_context
+from repro.harness import get_scale
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return get_scale(os.environ.get("REPRO_SCALE", "ci"))
+
+
+@pytest.fixture(scope="session")
+def ctx(bench_scale):
+    context = shared_context(bench_scale)
+    # Force the campaign + model fit ahead of timing any experiment.
+    context.models
+    return context
+
+
+@pytest.fixture
+def run_paper_experiment(benchmark, ctx):
+    """Benchmark one experiment once and emit its rendered output."""
+
+    def run(experiment_id: str):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"ctx": ctx},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.text)
+        return result
+
+    return run

@@ -1,0 +1,81 @@
+"""Multiprocessor heterogeneity study (the paper's Section 6).
+
+Finds each benchmark's bips^3/w-optimal core, clusters the nine optima
+with K-means into K compromise architectures, and quantifies the
+efficiency gain of increasing core heterogeneity against the homogeneous
+baseline — including the paper's observation of diminishing returns
+beyond roughly four core types.
+
+Run:  python examples/heterogeneity_study.py
+"""
+
+import os
+
+from repro.harness import get_scale, render_table
+from repro.studies import StudyContext, heterogeneity
+
+
+def main() -> None:
+    scale = get_scale(os.environ.get("REPRO_SCALE", "ci"))
+    ctx = StudyContext(scale=scale)
+
+    print("=== per-benchmark bips^3/w optimal cores (Table 2) ===")
+    optima = heterogeneity.benchmark_optima(ctx)
+    rows = [
+        [
+            name,
+            int(row.point["depth"]),
+            int(row.point["width"]),
+            int(row.point["gpr_phys"]),
+            int(row.point["dl1_kb"]),
+            row.point["l2_mb"],
+            f"{row.predicted_delay:.2f}",
+            f"{row.predicted_watts:.1f}",
+        ]
+        for name, row in optima.items()
+    ]
+    print(render_table(
+        ["bench", "depth", "width", "regs", "d$KB", "L2MB", "delay", "watts"], rows
+    ))
+
+    print("\n=== K=4 compromise architectures (Table 4) ===")
+    clustering = heterogeneity.table4(ctx, k=4)
+    rows = [
+        [
+            i + 1,
+            int(c.point["depth"]),
+            int(c.point["width"]),
+            int(c.point["gpr_phys"]),
+            int(c.point["dl1_kb"]),
+            c.point["l2_mb"],
+            f"{c.mean_delay:.2f}",
+            f"{c.mean_power:.1f}",
+            ",".join(c.benchmarks),
+        ]
+        for i, c in enumerate(clustering.clusters)
+    ]
+    print(render_table(
+        ["cluster", "depth", "width", "regs", "d$KB", "L2MB",
+         "avg delay", "avg W", "benchmarks"],
+        rows,
+    ))
+
+    print("\n=== efficiency gain vs degree of heterogeneity (Figure 9a) ===")
+    sweep = heterogeneity.k_sweep(ctx)
+    print("K:       " + "  ".join(f"{k:>5d}" for k in sweep.cluster_counts))
+    print("average: " + "  ".join(f"{g:5.2f}" for g in sweep.average))
+    upper_bound = sweep.average[-1]
+    four_core = sweep.average[min(4, len(sweep.average) - 1)]
+    print(
+        f"\nfour core types reach {four_core / upper_bound * 100:.0f}% of the "
+        f"theoretical full-heterogeneity bound ({upper_bound:.2f}x over baseline)"
+    )
+
+    print("\nper-benchmark gains at K=1 (homogeneous) vs K=4:")
+    for name, gains in sweep.per_benchmark.items():
+        k4 = gains[min(4, len(gains) - 1)]
+        print(f"  {name:7s}: K=1 {gains[1]:.2f}x   K=4 {k4:.2f}x   K=max {gains[-1]:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

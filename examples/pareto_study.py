@@ -1,0 +1,73 @@
+"""Pareto frontier study (the paper's Section 4) on two benchmarks.
+
+Characterizes the exploration space exhaustively with the regression
+models, extracts the power-delay pareto frontier by delay discretization,
+locates the bips^3/w optimum, and validates a handful of frontier designs
+against simulation.
+
+Run:  python examples/pareto_study.py            (ci scale)
+      REPRO_SCALE=default python examples/pareto_study.py
+"""
+
+import os
+
+from repro.harness import ascii_scatter, get_scale, render_table
+from repro.studies import StudyContext, pareto
+
+
+def main() -> None:
+    scale = get_scale(os.environ.get("REPRO_SCALE", "ci"))
+    ctx = StudyContext(scale=scale)
+    print(f"scale={scale.name}: exploring "
+          f"{scale.exploration_limit or len(ctx.exploration_space):,} designs per benchmark\n")
+
+    for benchmark in ("ammp", "mcf"):
+        table = pareto.characterize(ctx, benchmark)
+        print(f"=== {benchmark}: design space characterization (Figure 2) ===")
+        print(
+            f"delay {table.delay.min():.2f}..{table.delay.max():.2f}s, "
+            f"power {table.watts.min():.1f}..{table.watts.max():.1f}W"
+        )
+        print(ascii_scatter(
+            table.delay.tolist(), table.watts.tolist(),
+            width=60, height=14, x_label="delay (s)", y_label="power (W)",
+        ))
+
+        front = pareto.frontier(ctx, benchmark, bins=40)
+        print(f"\npareto frontier: {len(front)} designs "
+              f"(delay {front.delay[0]:.2f}s/{front.power[0]:.1f}W fastest, "
+              f"{front.delay[-1]:.2f}s/{front.power[-1]:.1f}W cheapest)")
+
+        optimum = pareto.efficiency_optimum(ctx, benchmark, validate=True)
+        p = optimum.point
+        print(
+            f"bips^3/w optimum: depth={p['depth']} width={p['width']} "
+            f"gpr={p['gpr_phys']} i$={p['il1_kb']}KB d$={p['dl1_kb']}KB "
+            f"L2={p['l2_mb']}MB -> modeled {optimum.predicted_delay:.2f}s/"
+            f"{optimum.predicted_watts:.1f}W "
+            f"(delay err {optimum.delay_error * 100:+.1f}%, "
+            f"power err {optimum.power_error * 100:+.1f}%)"
+        )
+
+        validation = pareto.validate_frontier(ctx, benchmark)
+        rows = [
+            [f"{md:.2f}", f"{sd:.2f}", f"{mp:.1f}", f"{sp:.1f}"]
+            for md, sd, mp, sp in zip(
+                validation.model_delay, validation.simulated_delay,
+                validation.model_power, validation.simulated_power,
+            )
+        ]
+        print(render_table(
+            ["model delay", "sim delay", "model W", "sim W"],
+            rows,
+            title="frontier validation (Figure 3)",
+        ))
+        print(
+            f"frontier median errors: delay "
+            f"{validation.delay_errors.median_percent:.1f}%, power "
+            f"{validation.power_errors.median_percent:.1f}% (Figure 4)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Pipeline depth study (the paper's Section 5).
+
+Contrasts the *original* constrained analysis (all non-depth parameters
+pinned at the POWER4-like baseline) with the *enhanced* analysis that
+varies every parameter simultaneously via the regression models — the
+paper's demonstration that constrained sensitivity studies may not
+generalize.
+
+Run:  python examples/pipeline_depth_study.py
+"""
+
+import os
+
+from repro.harness import get_scale, render_boxplot, render_table
+from repro.studies import StudyContext, depth
+
+
+def main() -> None:
+    scale = get_scale(os.environ.get("REPRO_SCALE", "ci"))
+    ctx = StudyContext(scale=scale)
+
+    print("=== Figure 5a: suite-average efficiency vs pipeline depth ===")
+    summary = depth.suite_depth_summary(ctx)
+    print("original (constrained) analysis, relative to its optimum:")
+    for d, value in zip(summary.depths, summary.original_relative):
+        bar = "#" * int(round(value * 40))
+        print(f"  {int(d):>2}FO4 {value:5.2f} {bar}")
+    print("\nenhanced analysis, per-depth distributions over the whole space:")
+    for d in summary.depths:
+        stats = summary.distributions[d]
+        print(render_boxplot(f"{int(d)}FO4", stats)
+              + f"  bound={summary.bound_relative[d]:.2f}"
+              + f"  >line={summary.exceed_baseline_fraction[d] * 100:.0f}%")
+
+    best_original = summary.depths[
+        max(range(len(summary.depths)), key=lambda i: summary.original_relative[i])
+    ]
+    best_bound = max(summary.bound_relative, key=summary.bound_relative.get)
+    print(f"\noriginal-analysis optimal depth: {int(best_original)} FO4")
+    print(f"bound-architecture optimal depth: {int(best_bound)} FO4")
+    print(f"max efficiency over constrained optimum: "
+          f"{max(summary.bound_relative.values()):.2f}x")
+
+    print("\n=== Figure 5b: d-L1 sizes among each depth's top 5% designs ===")
+    distribution = depth.top_percentile_cache_distribution(ctx)
+    sizes = sorted(next(iter(distribution.values())))
+    rows = [
+        [int(d)] + [f"{distribution[d][s] * 100:.0f}%" for s in sizes]
+        for d in distribution
+    ]
+    print(render_table(["FO4"] + [f"{int(s)}KB" for s in sizes], rows))
+
+    print("\n=== Figure 6: validation against simulation ===")
+    validation = depth.validate_depth_study(
+        ctx, benchmarks=list(ctx.benchmarks)[: scale.depth_validations]
+    )
+    rows = [
+        [int(d), f"{po:.2f}", f"{so:.2f}", f"{pe:.2f}", f"{se:.2f}"]
+        for d, po, so, pe, se in zip(
+            validation.depths,
+            validation.predicted_original,
+            validation.simulated_original,
+            validation.predicted_enhanced,
+            validation.simulated_enhanced,
+        )
+    ]
+    print(render_table(
+        ["FO4", "pred orig", "sim orig", "pred enh", "sim enh"],
+        rows,
+        title="relative bips^3/w, predicted vs simulated",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: sample, simulate, fit, predict.
+
+Walks the paper's core loop end-to-end on a reduced scale:
+
+1. define the Table 1 design space (375,000 points);
+2. sample designs uniformly at random and simulate them on one benchmark;
+3. fit the paper's non-linear regression models (sqrt/log responses,
+   restricted cubic splines, domain interactions);
+4. validate on held-out designs and predict a sweep the simulator never ran.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.designspace import exploration_space, sampling_space
+from repro.harness import get_scale, render_table, run_campaign
+from repro.regression import error_table, validate_model
+from repro.harness.campaign import fit_campaign_models
+from repro.simulator import Simulator, baseline_point
+
+
+def main() -> None:
+    space = sampling_space()
+    print(f"Design space: {space!r}")
+    print(f"Exploration subspace: {len(exploration_space()):,} points")
+    print()
+
+    # -- sample + simulate (the expensive phase the models amortize) --------
+    scale = get_scale("ci").with_overrides(name="quickstart", seed=17)
+    simulator = Simulator()
+    print(
+        f"Sampling {scale.n_train} training + {scale.n_validation} validation "
+        f"designs UAR; simulating each on gzip and mcf..."
+    )
+    campaign = run_campaign(simulator, scale=scale, benchmarks=["gzip", "mcf"])
+
+    # -- fit the paper's models ----------------------------------------------
+    models = fit_campaign_models(campaign)
+    for benchmark in campaign.benchmarks:
+        perf = models[benchmark]["bips"]
+        power = models[benchmark]["watts"]
+        print(
+            f"{benchmark:5s}: perf model R^2={perf.r_squared:.3f}, "
+            f"power model R^2={power.r_squared:.3f} "
+            f"({perf.n_parameters} parameters, {perf.n_observations} observations)"
+        )
+    print()
+
+    # -- validate on held-out designs (Figure 1's protocol) ------------------
+    summaries = []
+    for benchmark in campaign.benchmarks:
+        data = campaign.dataset(benchmark, "validation").columns()
+        summaries.append(validate_model(models[benchmark]["bips"], data, benchmark))
+    print("Median |obs-pred|/pred performance error (%):", {
+        k: round(v, 1) for k, v in error_table(summaries).items()
+    })
+    print()
+
+    # -- predict a sweep the simulator never ran -----------------------------
+    explore = exploration_space()
+    base = baseline_point(explore)
+    sweep = explore.sweep("l2_mb", base)
+    from repro.designspace import DesignEncoder
+
+    encoder = DesignEncoder(explore)
+    matrix = encoder.encode(sweep)
+    columns = {n: matrix[:, j] for j, n in enumerate(encoder.feature_names)}
+    rows = []
+    for benchmark in campaign.benchmarks:
+        bips = models[benchmark]["bips"].predict(columns)
+        watts = models[benchmark]["watts"].predict(columns)
+        for point, b, w in zip(sweep, bips, watts):
+            rows.append([benchmark, point["l2_mb"], b, w, b**3 / w])
+    print(render_table(
+        ["bench", "L2 (MB)", "pred bips", "pred watts", "bips^3/w"],
+        rows,
+        title="Predicted L2 sweep at the POWER4-like baseline (no simulation)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Characterizing the benchmark suite.
+
+Computes the program properties that explain *why* each benchmark's
+optimal architecture lands where it does (Table 2's diversity): inherent
+dataflow ILP, branch predictability, data cacheability and footprints —
+plus conformance validation of each synthetic trace against its profile.
+
+Run:  python examples/workload_characterization.py
+"""
+
+from repro.harness import render_table
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    characterize,
+    generate_trace,
+    get_profile,
+    validate_trace,
+)
+
+
+def main() -> None:
+    rows = []
+    conforming = 0
+    for name in BENCHMARK_NAMES:
+        profile = get_profile(name)
+        trace = generate_trace(profile, 12000, seed=4)
+        character = characterize(trace)
+        report = validate_trace(trace, profile)
+        conforming += report.passed
+        rows.append([
+            name,
+            f"{character.ilp_infinite:.1f}",
+            f"{character.ilp_window_64:.1f}",
+            f"{character.branch_predictability * 100:.1f}%",
+            f"{character.data_miss_curve[256] * 100:.1f}%",
+            f"{character.data_miss_curve[16384] * 100:.1f}%",
+            f"{character.mix['load'] + character.mix['store']:.2f}",
+            "ok" if report.passed else "FAIL",
+        ])
+    print(render_table(
+        ["bench", "ILP (inf)", "ILP (w=64)", "bpred", "miss@32KB",
+         "miss@2MB", "mem frac", "conform"],
+        rows,
+        title="Benchmark suite characterization (12k-instruction traces)",
+    ))
+    print(f"\n{conforming}/{len(BENCHMARK_NAMES)} traces conform to their profiles")
+    print(
+        "\nReading the table against Table 2 of the paper/EXPERIMENTS.md:\n"
+        "- high-ILP, predictable codes (mesa, ammp) support wide machines;\n"
+        "- high miss@2MB (mcf, applu, equake) marks the memory-bound codes\n"
+        "  whose optima are shallow (frequency buys nothing at the wall) —\n"
+        "  mcf's falls with L2 size (big-cache optimum) while applu's does\n"
+        "  not (minimum-cache optimum);\n"
+        "- branchy, low-ILP codes (gcc, gzip) want narrow machines where\n"
+        "  mispredict flushes are cheap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Comparator methods from the paper's related work."""
+
+from .ann import ANNConfig, ANNError, FittedANN, fit_ann
+from .interval import IntervalModel, TraceStatistics, interval_model_for
+
+__all__ = [
+    "fit_ann",
+    "FittedANN",
+    "ANNConfig",
+    "ANNError",
+    "IntervalModel",
+    "TraceStatistics",
+    "interval_model_for",
+]

@@ -1,0 +1,207 @@
+"""Artificial neural network baseline (Ipek et al. [5]).
+
+The paper's related work contrasts its regression models with ANNs
+"trained by gradient descent and predicted by nested weighted sums",
+arguing regression needs more statistical analysis but is computationally
+cheaper.  To reproduce that comparison we implement the comparator from
+scratch: a single-hidden-layer perceptron on normalized inputs, trained by
+full-batch gradient descent with momentum and early stopping on a held-out
+fraction — the configuration of the original study.
+
+API mirrors the regression side: :func:`fit_ann` consumes the same column
+mapping ``fit_ols`` does (including the response transform) and returns a
+:class:`FittedANN` with ``predict``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..regression.transforms import IdentityTransform, ResponseTransform
+
+
+class ANNError(ValueError):
+    """Raised for malformed network configuration or data."""
+
+
+@dataclass(frozen=True)
+class ANNConfig:
+    """Training hyperparameters."""
+
+    hidden_units: int = 16
+    learning_rate: float = 0.1
+    momentum: float = 0.6
+    epochs: int = 3000
+    validation_fraction: float = 0.2
+    patience: int = 200          #: early-stopping patience in epochs
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden_units < 1:
+            raise ANNError("hidden_units must be >= 1")
+        if not 0 < self.learning_rate:
+            raise ANNError("learning_rate must be positive")
+        if not 0 <= self.momentum < 1:
+            raise ANNError("momentum must be in [0, 1)")
+        if self.epochs < 1:
+            raise ANNError("epochs must be >= 1")
+        if not 0 <= self.validation_fraction < 0.9:
+            raise ANNError("validation_fraction must be in [0, 0.9)")
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+
+
+@dataclass
+class FittedANN:
+    """A trained network plus the input/output scalings it expects."""
+
+    feature_names: Tuple[str, ...]
+    transform: ResponseTransform
+    response: str
+    w_hidden: np.ndarray    # (d, h)
+    b_hidden: np.ndarray    # (h,)
+    w_out: np.ndarray       # (h,)
+    b_out: float
+    x_low: np.ndarray
+    x_span: np.ndarray
+    z_mean: float
+    z_scale: float
+    train_epochs: int = 0
+    train_loss: float = float("nan")
+    loss_history: List[float] = field(default_factory=list)
+
+    def _design(self, data: Mapping[str, np.ndarray]) -> np.ndarray:
+        try:
+            columns = [np.asarray(data[name], dtype=float) for name in self.feature_names]
+        except KeyError as error:
+            raise ANNError(f"missing predictor {error}") from None
+        X = np.column_stack(columns)
+        return (X - self.x_low) / self.x_span
+
+    def predict_transformed(self, data: Mapping[str, np.ndarray]) -> np.ndarray:
+        X = self._design(data)
+        hidden = _sigmoid(X @ self.w_hidden + self.b_hidden)
+        return (hidden @ self.w_out + self.b_out) * self.z_scale + self.z_mean
+
+    def predict(self, data: Mapping[str, np.ndarray]) -> np.ndarray:
+        return self.transform.inverse(self.predict_transformed(data))
+
+
+def fit_ann(
+    data: Mapping[str, np.ndarray],
+    response: str,
+    feature_names: Sequence[str],
+    transform: Optional[ResponseTransform] = None,
+    config: Optional[ANNConfig] = None,
+) -> FittedANN:
+    """Train the MLP on ``data``; interface parallel to ``fit_ols``."""
+    config = config or ANNConfig()
+    transform = transform or IdentityTransform()
+    feature_names = tuple(feature_names)
+    if not feature_names:
+        raise ANNError("need at least one predictor")
+    if response not in data:
+        raise ANNError(f"response {response!r} missing from data")
+
+    X_raw = np.column_stack(
+        [np.asarray(data[name], dtype=float) for name in feature_names]
+    )
+    z = transform.forward(np.asarray(data[response], dtype=float))
+    n, d = X_raw.shape
+    if n < 10:
+        raise ANNError(f"need at least 10 observations, got {n}")
+
+    # input normalization to [0, 1]; output standardization
+    x_low = X_raw.min(axis=0)
+    spans = np.ptp(X_raw, axis=0)
+    x_span = np.where(spans > 0, spans, 1.0)
+    X = (X_raw - x_low) / x_span
+    z_mean = float(z.mean())
+    z_scale = float(z.std()) or 1.0
+    target = (z - z_mean) / z_scale
+
+    rng = np.random.default_rng(config.seed)
+    order = rng.permutation(n)
+    n_val = int(n * config.validation_fraction)
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    X_train, t_train = X[train_idx], target[train_idx]
+    X_val, t_val = X[val_idx], target[val_idx]
+
+    h = config.hidden_units
+    w_hidden = rng.normal(0.0, 1.0 / np.sqrt(d), size=(d, h))
+    b_hidden = np.zeros(h)
+    w_out = rng.normal(0.0, 1.0 / np.sqrt(h), size=h)
+    b_out = 0.0
+    velocity = [np.zeros_like(w_hidden), np.zeros_like(b_hidden),
+                np.zeros_like(w_out), 0.0]
+
+    best = None
+    best_val = np.inf
+    stale = 0
+    loss_history: List[float] = []
+    m = len(train_idx)
+    lr = config.learning_rate
+    mu = config.momentum
+
+    for epoch in range(1, config.epochs + 1):
+        hidden = _sigmoid(X_train @ w_hidden + b_hidden)
+        output = hidden @ w_out + b_out
+        error = output - t_train
+        loss = float((error @ error) / m)
+        loss_history.append(loss)
+
+        # backprop (mean squared error)
+        grad_out = 2.0 * error / m                    # (m,)
+        g_w_out = hidden.T @ grad_out                 # (h,)
+        g_b_out = float(grad_out.sum())
+        delta_hidden = np.outer(grad_out, w_out) * hidden * (1 - hidden)
+        g_w_hidden = X_train.T @ delta_hidden         # (d, h)
+        g_b_hidden = delta_hidden.sum(axis=0)
+
+        velocity[0] = mu * velocity[0] - lr * g_w_hidden
+        velocity[1] = mu * velocity[1] - lr * g_b_hidden
+        velocity[2] = mu * velocity[2] - lr * g_w_out
+        velocity[3] = mu * velocity[3] - lr * g_b_out
+        w_hidden = w_hidden + velocity[0]
+        b_hidden = b_hidden + velocity[1]
+        w_out = w_out + velocity[2]
+        b_out = b_out + velocity[3]
+
+        # early stopping on the held-out fraction
+        if n_val:
+            val_hidden = _sigmoid(X_val @ w_hidden + b_hidden)
+            val_error = val_hidden @ w_out + b_out - t_val
+            val_loss = float((val_error @ val_error) / max(n_val, 1))
+            if val_loss < best_val - 1e-9:
+                best_val = val_loss
+                best = (w_hidden.copy(), b_hidden.copy(), w_out.copy(), b_out, epoch)
+                stale = 0
+            else:
+                stale += 1
+                if stale >= config.patience:
+                    break
+
+    if best is not None:
+        w_hidden, b_hidden, w_out, b_out, epoch = best
+
+    return FittedANN(
+        feature_names=feature_names,
+        transform=transform,
+        response=response,
+        w_hidden=w_hidden,
+        b_hidden=b_hidden,
+        w_out=w_out,
+        b_out=float(b_out),
+        x_low=x_low,
+        x_span=x_span,
+        z_mean=z_mean,
+        z_scale=z_scale,
+        train_epochs=epoch,
+        train_loss=loss_history[-1] if loss_history else float("nan"),
+        loss_history=loss_history,
+    )

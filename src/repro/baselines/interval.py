@@ -1,0 +1,154 @@
+"""First-order mechanistic (interval-style) performance model.
+
+The opposite pole from the paper's statistical approach: instead of
+*learning* the design space from sampled simulations, compute performance
+from first principles in the spirit of interval analysis (Karkhanis &
+Smith) — a balanced-machine base CPI plus independent stall contributions
+from branch mispredicts and cache misses, with a memory-level-parallelism
+correction.
+
+The model consumes only *trace statistics* (from
+:mod:`repro.workloads.characterize`) and the machine config — zero
+training simulations — which makes it the natural "how far does pure
+mechanism get you?" comparator for the regression models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..simulator.config import MachineConfig
+from ..simulator.memory import BLOCKS_PER_KB, L2_DATA_SHARE, associativity_factor
+from ..workloads.characterize import (
+    branch_predictability,
+    dataflow_ilp,
+    miss_rate_curve,
+)
+from ..workloads.trace import NO_FETCH, OP_BRANCH, OP_LOAD, OP_STORE, Trace
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """The sufficient statistics the interval model needs from a trace."""
+
+    instructions: int
+    load_fraction: float
+    store_fraction: float
+    branch_fraction: float
+    gpr_writer_fraction: float        #: instructions allocating a GPR
+    fetch_event_fraction: float
+    mispredict_rate: float            #: per branch, last-outcome predictor
+    ilp_curve: Dict[int, float]       #: window size -> dataflow ILP
+    data_miss_curve: Dict[int, float]
+    instr_miss_curve: Dict[int, float]
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "TraceStatistics":
+        """Measure the statistics once per trace."""
+        from ..workloads.trace import GPR_WRITERS
+
+        n = len(trace)
+        ops = trace.op
+        reuse = trace.instr_reuse[trace.instr_reuse != NO_FETCH]
+        instr_curve = {
+            int(c): float((reuse >= c).mean()) if reuse.size else 0.0
+            for c in (64, 128, 256, 512, 1024, 2048)
+        }
+        return cls(
+            instructions=n,
+            load_fraction=float((ops == OP_LOAD).mean()),
+            store_fraction=float((ops == OP_STORE).mean()),
+            branch_fraction=float((ops == OP_BRANCH).mean()),
+            gpr_writer_fraction=float(np.isin(ops, GPR_WRITERS).mean()),
+            fetch_event_fraction=trace.fetch_events() / n,
+            mispredict_rate=1.0 - branch_predictability(trace),
+            ilp_curve={
+                w: dataflow_ilp(trace, window=w)
+                for w in (8, 16, 32, 64, 128, 256)
+            },
+            data_miss_curve=miss_rate_curve(
+                trace, capacities=(48, 64, 96, 128, 192, 256, 384, 512, 768,
+                                   1024, 1536, 2048, 4096, 8192, 16384, 32768)
+            ),
+            instr_miss_curve=instr_curve,
+        )
+
+
+def _interpolate_curve(curve: Dict[int, float], capacity: float) -> float:
+    """Log-linear interpolation of a miss-rate curve at ``capacity``."""
+    keys = sorted(curve)
+    if capacity <= keys[0]:
+        return curve[keys[0]]
+    if capacity >= keys[-1]:
+        return curve[keys[-1]]
+    for low, high in zip(keys, keys[1:]):
+        if low <= capacity <= high:
+            span = np.log(high) - np.log(low)
+            weight = (np.log(capacity) - np.log(low)) / span if span else 0.0
+            return float(curve[low] * (1 - weight) + curve[high] * weight)
+    return curve[keys[-1]]  # unreachable
+
+
+class IntervalModel:
+    """Predict bips for (statistics, config) pairs without simulation."""
+
+    #: Effective memory-level parallelism overlapping memory misses.
+    memory_level_parallelism = 3.0
+
+    def __init__(self, statistics: TraceStatistics):
+        self.statistics = statistics
+
+    def cycles_per_instruction(self, config: MachineConfig) -> float:
+        """First-order CPI decomposition."""
+        stats = self.statistics
+
+        # base: the machine sustains min(width, ILP within the effective
+        # instruction window) per cycle; the window is bounded by the ROB
+        # and by rename registers divided among the instructions that
+        # allocate them
+        window = min(
+            config.rob_size,
+            config.gpr_rename / max(stats.gpr_writer_fraction, 1e-6),
+        )
+        ilp = _interpolate_curve(stats.ilp_curve, window)
+        base_rate = min(config.width, ilp)
+        cpi = 1.0 / base_rate
+
+        # branch mispredicts: front-end refill plus resolution latency
+        penalty = config.frontend_stages + config.op_latency(OP_BRANCH) + 1
+        cpi += stats.branch_fraction * stats.mispredict_rate * penalty
+
+        # data cache misses (stack-distance effective capacities mirror the
+        # simulator's memory model)
+        dl1_eff = config.dl1_kb * BLOCKS_PER_KB * associativity_factor(config.dl1_assoc)
+        l2_eff = (
+            config.l2_mb * 1024 * BLOCKS_PER_KB
+            * associativity_factor(config.l2_assoc) * L2_DATA_SHARE
+        )
+        miss_dl1 = _interpolate_curve(stats.data_miss_curve, dl1_eff)
+        miss_l2 = _interpolate_curve(stats.data_miss_curve, l2_eff)
+        mem_fraction = stats.load_fraction  # stores retire asynchronously
+        l2_latency = config.l2_latency
+        memory_latency = config.memory_latency / self.memory_level_parallelism
+        cpi += mem_fraction * (miss_dl1 - miss_l2) * l2_latency
+        cpi += mem_fraction * miss_l2 * (l2_latency + memory_latency)
+        # L1 load-to-use latency partially exposed on dependent loads
+        cpi += mem_fraction * 0.3 * (config.dl1_latency - 1)
+
+        # instruction cache misses, charged per fetch event
+        il1_eff = config.il1_kb * BLOCKS_PER_KB * associativity_factor(config.il1_assoc)
+        instr_miss = _interpolate_curve(stats.instr_miss_curve, il1_eff)
+        cpi += stats.fetch_event_fraction * instr_miss * config.l2_latency
+        return cpi
+
+    def predict_bips(self, config: MachineConfig) -> float:
+        """Billions of instructions per second for one configuration."""
+        return config.frequency_ghz / self.cycles_per_instruction(config)
+
+
+def interval_model_for(trace: Trace) -> IntervalModel:
+    """Convenience constructor from a trace."""
+    return IntervalModel(TraceStatistics.from_trace(trace))

@@ -1,0 +1,147 @@
+"""Command-line interface.
+
+``repro list`` enumerates the paper's tables/figures; ``repro run <id>``
+regenerates one (or ``all``); ``repro info`` prints the environment.
+Scale is chosen with ``--scale`` or the ``REPRO_SCALE`` env var.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from . import __version__
+from .experiments import EXPERIMENTS, run_experiment, shared_context
+from .harness import PRESETS, get_scale
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Lee & Brooks (HPCA 2007): regression-based "
+            "microarchitectural design space studies."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    list_parser = subparsers.add_parser("list", help="list experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "ids",
+        nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    run_parser.add_argument(
+        "--scale",
+        choices=sorted(PRESETS),
+        default=None,
+        help="scale preset (default: REPRO_SCALE or 'default')",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel simulation workers for the campaign phase",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    info_parser = subparsers.add_parser("info", help="environment summary")
+    info_parser.set_defaults(func=_cmd_info)
+
+    report_parser = subparsers.add_parser(
+        "report", help="run experiments and write a markdown report"
+    )
+    report_parser.add_argument(
+        "--output", default="report.md", help="output path (default report.md)"
+    )
+    report_parser.add_argument(
+        "--scale", choices=sorted(PRESETS), default=None,
+        help="scale preset (default: REPRO_SCALE or 'default')",
+    )
+    report_parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="restrict to these experiment ids",
+    )
+    report_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel simulation workers for the campaign phase",
+    )
+    report_parser.set_defaults(func=_cmd_report)
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for experiment_id, runner in EXPERIMENTS.items():
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id:>4s}  {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids: List[str] = args.ids
+    if ids == ["all"]:
+        ids = list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"choices: {', '.join(EXPERIMENTS)} or 'all'", file=sys.stderr)
+        return 2
+    scale = get_scale(args.scale)
+    ctx = shared_context(scale, workers=args.workers)
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, ctx=ctx)
+        elapsed = time.time() - started
+        print(f"=== {result.id}: {result.title} [{elapsed:.1f}s @ {scale.name}] ===")
+        print(result.text)
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .harness.report import write_report
+
+    scale = get_scale(args.scale)
+    ctx = shared_context(scale, workers=getattr(args, "workers", 1))
+    try:
+        path = write_report(ctx, Path(args.output), experiment_ids=args.only)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .designspace import exploration_space, sampling_space
+    from .workloads import BENCHMARK_NAMES
+
+    scale = get_scale()
+    print(f"repro {__version__}")
+    print(f"sampling space:    {len(sampling_space()):,} designs")
+    print(f"exploration space: {len(exploration_space()):,} designs")
+    print(f"benchmarks:        {', '.join(BENCHMARK_NAMES)}")
+    print(f"active scale:      {scale.name} (trace={scale.trace_length}, "
+          f"train={scale.n_train}, val={scale.n_validation})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "func"):
+        parser.print_help()
+        return 1
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Clustering analyses for the heterogeneity study (Section 6)."""
+
+from .kmeans import (
+    KMeansError,
+    KMeansResult,
+    elbow_inertias,
+    kmeans,
+    lloyd_iteration,
+)
+
+__all__ = [
+    "kmeans",
+    "lloyd_iteration",
+    "elbow_inertias",
+    "KMeansResult",
+    "KMeansError",
+]

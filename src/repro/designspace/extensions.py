@@ -1,0 +1,39 @@
+"""Extended design space (the paper's future-work parameters).
+
+Section 8 names two parameters the authors intend to add: cache
+associativity and in-order execution.  This module defines them and an
+extended space including both, so the simulator, models and studies can be
+exercised beyond the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from .parameters import Parameter
+from .space import DesignSpace
+from .table1 import TABLE1_PARAMETERS
+
+#: Set-associativity applied to the d-L1 cache (the baseline is 2-way).
+DL1_ASSOCIATIVITY = Parameter(
+    name="dl1_assoc",
+    values=(1, 2, 4, 8),
+    unit="ways",
+    group="S8",
+    description="d-L1 cache associativity",
+    log2_encode=True,
+)
+
+#: Issue discipline: 0 = out-of-order (the paper's machines), 1 = in-order.
+IN_ORDER = Parameter(
+    name="in_order",
+    values=(0, 1),
+    unit="flag",
+    group="S9",
+    description="in-order issue discipline",
+)
+
+EXTENDED_PARAMETERS = TABLE1_PARAMETERS + (DL1_ASSOCIATIVITY, IN_ORDER)
+
+
+def extended_space() -> DesignSpace:
+    """Table 1 space crossed with associativity and issue discipline."""
+    return DesignSpace(EXTENDED_PARAMETERS, name="table1-extended")

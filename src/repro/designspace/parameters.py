@@ -1,0 +1,175 @@
+"""Design parameter definitions.
+
+The paper's design space (Table 1) is built from *parameter groups*: one
+degree of freedom (e.g. "width") that simultaneously controls several
+machine settings (decode bandwidth, load/store queue depth, store queue
+depth, functional unit count).  A :class:`Parameter` models one such degree
+of freedom: an ordered tuple of primary values plus, optionally, tuples of
+*derived* settings that vary in lockstep with the primary value.
+
+Parameters are immutable.  Identity of values matters: sampling, encoding
+and the simulator all look values up by position in ``values``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+class ParameterError(ValueError):
+    """Raised for malformed parameter definitions or unknown values."""
+
+
+def linear_range(start: Number, step: Number, stop: Number) -> Tuple[Number, ...]:
+    """Inclusive arithmetic progression, the paper's ``i::j::k`` notation.
+
+    >>> linear_range(9, 3, 36)
+    (9, 12, 15, 18, 21, 24, 27, 30, 33, 36)
+    """
+    if step <= 0:
+        raise ParameterError(f"step must be positive, got {step}")
+    if stop < start:
+        raise ParameterError(f"empty range: start={start} > stop={stop}")
+    values = []
+    current = start
+    # Tolerate float accumulation: stop within half a step counts.
+    while current <= stop + step * 1e-9:
+        values.append(current)
+        current += step
+    return tuple(values)
+
+
+def pow2_range(start: Number, stop: Number) -> Tuple[Number, ...]:
+    """Inclusive geometric progression doubling each step (``i::2x::k``).
+
+    >>> pow2_range(16, 256)
+    (16, 32, 64, 128, 256)
+    """
+    if start <= 0:
+        raise ParameterError(f"start must be positive, got {start}")
+    if stop < start:
+        raise ParameterError(f"empty range: start={start} > stop={stop}")
+    values = []
+    current = float(start)
+    while current <= stop * (1 + 1e-9):
+        values.append(int(current) if current == int(current) else current)
+        current *= 2
+    return tuple(values)
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One degree of freedom in the design space.
+
+    Attributes
+    ----------
+    name:
+        Identifier used throughout the library (e.g. ``"depth"``).
+    values:
+        Ordered tuple of primary values this parameter may take.
+    unit:
+        Human-readable unit (``"FO4"``, ``"KB"``, ...).
+    group:
+        The paper's set label, ``"S1"`` .. ``"S7"``.
+    description:
+        One-line description for tables and docs.
+    log2_encode:
+        When True, numeric encodings (for regression and clustering) use
+        ``log2(value)`` so that geometric ranges such as cache sizes are
+        evenly spaced.
+    derived:
+        Mapping of machine-setting name to a tuple parallel to ``values``;
+        the derived setting takes ``derived[k][i]`` whenever the primary
+        value is ``values[i]``.
+    """
+
+    name: str
+    values: Tuple[Number, ...]
+    unit: str = ""
+    group: str = ""
+    description: str = ""
+    log2_encode: bool = False
+    derived: Mapping[str, Tuple[Number, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("parameter name must be non-empty")
+        if len(self.values) < 1:
+            raise ParameterError(f"parameter {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ParameterError(f"parameter {self.name!r} has duplicate values")
+        if list(self.values) != sorted(self.values):
+            raise ParameterError(f"parameter {self.name!r} values must be ascending")
+        for key, column in self.derived.items():
+            if len(column) != len(self.values):
+                raise ParameterError(
+                    f"derived setting {key!r} of parameter {self.name!r} has "
+                    f"{len(column)} entries, expected {len(self.values)}"
+                )
+        if self.log2_encode and any(v <= 0 for v in self.values):
+            raise ParameterError(
+                f"parameter {self.name!r} cannot be log2-encoded: non-positive value"
+            )
+
+    @property
+    def cardinality(self) -> int:
+        """Number of levels, the paper's ``|S_i|``."""
+        return len(self.values)
+
+    def index_of(self, value: Number) -> int:
+        """Position of ``value`` in ``values``; raises for unknown values."""
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ParameterError(
+                f"{value!r} is not a level of parameter {self.name!r}; "
+                f"levels are {self.values}"
+            ) from None
+
+    def settings_at(self, value: Number) -> Dict[str, Number]:
+        """All machine settings implied by taking ``value``.
+
+        Includes the primary value under this parameter's own name and every
+        derived setting at the matching index.
+        """
+        index = self.index_of(value)
+        settings: Dict[str, Number] = {self.name: value}
+        for key, column in self.derived.items():
+            settings[key] = column[index]
+        return settings
+
+    def encode(self, value: Number) -> float:
+        """Numeric encoding of ``value`` used by regression and clustering."""
+        self.index_of(value)  # validate membership
+        return math.log2(value) if self.log2_encode else float(value)
+
+    def decode(self, encoded: float) -> Number:
+        """Nearest valid level for an encoded coordinate (inverse of encode)."""
+        return min(self.values, key=lambda v: abs(self.encode(v) - encoded))
+
+    def nearest(self, value: Number) -> Number:
+        """Nearest valid level to an arbitrary raw value."""
+        return min(self.values, key=lambda v: abs(float(v) - float(value)))
+
+    def span(self) -> Tuple[float, float]:
+        """(min, max) of the encoded coordinate, used for normalization."""
+        encoded = [self.encode(v) for v in self.values]
+        return min(encoded), max(encoded)
+
+
+def validate_unique_names(parameters: Sequence[Parameter]) -> None:
+    """Raise if any two parameters (or derived settings) share a name."""
+    seen: Dict[str, str] = {}
+    for parameter in parameters:
+        names = [parameter.name, *parameter.derived.keys()]
+        for name in names:
+            if name in seen:
+                raise ParameterError(
+                    f"setting name {name!r} defined by both {seen[name]!r} "
+                    f"and {parameter.name!r}"
+                )
+            seen[name] = parameter.name

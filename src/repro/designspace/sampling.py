@@ -1,0 +1,144 @@
+"""Design space samplers.
+
+The paper samples designs uniformly at random (UAR) from the full space —
+Section 2.3 argues this decouples simulation count from space cardinality
+and avoids baseline-centred bias.  We provide the UAR sampler used by the
+paper plus two alternatives useful for ablation: stratified sampling along
+one parameter (guaranteeing coverage of every level) and a deterministic
+low-discrepancy (Halton) sampler.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .parameters import ParameterError
+from .space import DesignPoint, DesignSpace
+
+
+def _generator(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def sample_uar(
+    space: DesignSpace,
+    count: int,
+    seed: Optional[int] = None,
+    unique: bool = True,
+) -> List[DesignPoint]:
+    """Sample ``count`` points uniformly at random from ``space``.
+
+    With ``unique=True`` (default) points are sampled without replacement,
+    matching the paper's n=1,000 distinct training designs; requires
+    ``count <= |space|``.
+    """
+    if count < 0:
+        raise ParameterError(f"count must be non-negative, got {count}")
+    size = len(space)
+    rng = _generator(seed)
+    if unique:
+        if count > size:
+            raise ParameterError(
+                f"cannot draw {count} unique points from a space of {size}"
+            )
+        # For huge spaces, rejection sampling beats materializing range(|S|).
+        if count * 20 < size:
+            seen: set = set()
+            indices = []
+            while len(indices) < count:
+                needed = count - len(indices)
+                for i in rng.integers(0, size, size=needed * 2):
+                    i = int(i)
+                    if i not in seen:
+                        seen.add(i)
+                        indices.append(i)
+                        if len(indices) == count:
+                            break
+        else:
+            indices = list(rng.choice(size, size=count, replace=False))
+    else:
+        indices = list(rng.integers(0, size, size=count))
+    return [space.point_at(int(i)) for i in indices]
+
+
+def sample_stratified(
+    space: DesignSpace,
+    parameter_name: str,
+    per_level: int,
+    seed: Optional[int] = None,
+) -> List[DesignPoint]:
+    """Sample ``per_level`` points UAR within each level of one parameter.
+
+    Guarantees every level of ``parameter_name`` appears equally often —
+    useful when validating per-depth trends (Section 5) where plain UAR may
+    under-represent a level at small sample counts.
+    """
+    parameter = space.parameter(parameter_name)
+    rng = _generator(seed)
+    points: List[DesignPoint] = []
+    for value in parameter.values:
+        level_space = space.fix(**{parameter_name: value})
+        child_seed = int(rng.integers(0, 2**31 - 1))
+        points.extend(sample_uar(level_space, per_level, seed=child_seed))
+    return points
+
+
+def _halton_sequence(index: int, base: int) -> float:
+    """The ``index``-th element of the van der Corput sequence in ``base``."""
+    result = 0.0
+    fraction = 1.0 / base
+    i = index
+    while i > 0:
+        result += fraction * (i % base)
+        i //= base
+        fraction /= base
+    return result
+
+
+_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def sample_halton(
+    space: DesignSpace, count: int, skip: int = 20
+) -> List[DesignPoint]:
+    """Deterministic low-discrepancy sample of ``count`` points.
+
+    Each parameter is driven by a Halton sequence in a distinct prime base;
+    the unit-interval coordinate selects a level by equal-width binning.
+    Provided for sampler ablations against the paper's UAR choice.
+    """
+    if count < 0:
+        raise ParameterError(f"count must be non-negative, got {count}")
+    if len(space.parameters) > len(_PRIMES):
+        raise ParameterError(
+            f"halton sampler supports at most {len(_PRIMES)} parameters"
+        )
+    points: List[DesignPoint] = []
+    for i in range(count):
+        values = {}
+        for parameter, base in zip(space.parameters, _PRIMES):
+            coordinate = _halton_sequence(i + skip, base)
+            level = min(int(coordinate * parameter.cardinality), parameter.cardinality - 1)
+            values[parameter.name] = parameter.values[level]
+        points.append(space.point(**values))
+    return points
+
+
+def split_train_validation(
+    points: Sequence[DesignPoint],
+    validation_count: int,
+    seed: Optional[int] = None,
+) -> tuple:
+    """Shuffle ``points`` and split off ``validation_count`` of them."""
+    if validation_count > len(points):
+        raise ParameterError(
+            f"cannot hold out {validation_count} of {len(points)} points"
+        )
+    rng = _generator(seed)
+    order = list(range(len(points)))
+    rng.shuffle(order)
+    validation = [points[i] for i in order[:validation_count]]
+    training = [points[i] for i in order[validation_count:]]
+    return training, validation

@@ -1,0 +1,114 @@
+"""The paper's design space (Table 1) and the exploration subspace.
+
+Table 1 defines seven parameter groups ``S1 .. S7``; their Cartesian
+product is the 375,000-point sampling space.  Section 3.5 explores a
+262,500-point subspace with pipeline depths restricted to 12..30 FO4 —
+the sampling space is deliberately larger than the exploration space so
+that predictions near the boundary of the exploration space interpolate
+rather than extrapolate.
+"""
+
+from __future__ import annotations
+
+from .parameters import Parameter, linear_range, pow2_range
+from .space import DesignSpace
+
+#: S1 — pipeline depth in FO4 inverter delays per stage (9::3::36).
+DEPTH = Parameter(
+    name="depth",
+    values=linear_range(9, 3, 36),
+    unit="FO4",
+    group="S1",
+    description="pipeline depth in FO4 delays per stage",
+)
+
+#: S2 — pipeline width; decode bandwidth with queue depths and FU counts
+#: varying in lockstep (2/4/8-wide machines).
+WIDTH = Parameter(
+    name="width",
+    values=(2, 4, 8),
+    unit="insns/cycle",
+    group="S2",
+    description="decode bandwidth",
+    log2_encode=True,
+    derived={
+        "ls_queue": linear_range(15, 15, 45),
+        "store_queue": linear_range(14, 14, 42),
+        "functional_units": (1, 2, 4),
+    },
+)
+
+#: S3 — physical register files; GPR count is primary, FPR and SPR scale
+#: with it.
+REGISTERS = Parameter(
+    name="gpr_phys",
+    values=linear_range(40, 10, 130),
+    unit="registers",
+    group="S3",
+    description="general purpose physical registers",
+    derived={
+        "fpr_phys": linear_range(40, 8, 112),
+        "spr_phys": linear_range(42, 6, 96),
+    },
+)
+
+#: S4 — reservation stations; branch-RS entry count is primary, fixed-point
+#: and floating-point RS sizes scale with it.
+RESERVATIONS = Parameter(
+    name="br_resv",
+    values=linear_range(6, 1, 15),
+    unit="entries",
+    group="S4",
+    description="branch reservation station entries",
+    derived={
+        "fx_resv": linear_range(10, 2, 28),
+        "fp_resv": linear_range(5, 1, 14),
+    },
+)
+
+#: S5 — instruction L1 cache size in KB (16::2x::256).
+ICACHE = Parameter(
+    name="il1_kb",
+    values=pow2_range(16, 256),
+    unit="KB",
+    group="S5",
+    description="i-L1 cache size",
+    log2_encode=True,
+)
+
+#: S6 — data L1 cache size in KB (8::2x::128).
+DCACHE = Parameter(
+    name="dl1_kb",
+    values=pow2_range(8, 128),
+    unit="KB",
+    group="S6",
+    description="d-L1 cache size",
+    log2_encode=True,
+)
+
+#: S7 — unified L2 cache size in MB (0.25::2x::4).
+L2CACHE = Parameter(
+    name="l2_mb",
+    values=(0.25, 0.5, 1.0, 2.0, 4.0),
+    unit="MB",
+    group="S7",
+    description="L2 cache size",
+    log2_encode=True,
+)
+
+TABLE1_PARAMETERS = (DEPTH, WIDTH, REGISTERS, RESERVATIONS, ICACHE, DCACHE, L2CACHE)
+
+#: Depth levels of the exploration space (Section 3.5): 12..30 FO4.
+EXPLORATION_DEPTHS = linear_range(12, 3, 30)
+
+
+def sampling_space() -> DesignSpace:
+    """The 375,000-point Table 1 space used for sampling and model training."""
+    return DesignSpace(TABLE1_PARAMETERS, name="table1")
+
+
+def exploration_space() -> DesignSpace:
+    """The 262,500-point subspace explored by the three studies."""
+    return sampling_space().restrict(
+        {"depth": EXPLORATION_DEPTHS}, name="exploration"
+    )

@@ -1,0 +1,41 @@
+"""Experiment harness: campaigns, datasets, caching, scale, rendering."""
+
+from .artifacts import (
+    ArtifactError,
+    cache_dir,
+    cached_campaign,
+    load_campaign,
+    save_campaign,
+)
+from .campaign import Campaign, fit_campaign_models, run_campaign
+from .dataset import Dataset, DatasetError
+from .figures import Series, ascii_scatter, render_boxplot, render_boxplot_panel, render_series
+from .report import generate_report, write_report
+from .scale import PRESETS, ScaleError, ScalePreset, get_scale
+from .tables import render_design_point, render_table
+
+__all__ = [
+    "Campaign",
+    "run_campaign",
+    "fit_campaign_models",
+    "Dataset",
+    "DatasetError",
+    "cached_campaign",
+    "save_campaign",
+    "load_campaign",
+    "cache_dir",
+    "ArtifactError",
+    "ScalePreset",
+    "ScaleError",
+    "PRESETS",
+    "get_scale",
+    "render_table",
+    "render_design_point",
+    "Series",
+    "render_series",
+    "render_boxplot",
+    "render_boxplot_panel",
+    "ascii_scatter",
+    "generate_report",
+    "write_report",
+]

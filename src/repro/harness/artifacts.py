@@ -1,0 +1,165 @@
+"""Artifact persistence: campaign caching.
+
+Simulation campaigns are the expensive phase of every experiment, and the
+benchmarks for different figures share one campaign.  Campaigns are
+serialized to JSON keyed by a digest of everything that determines them
+(scale knobs, space shape, benchmark list, library version), so repeated
+bench/test invocations pay once.
+
+The cache directory defaults to ``.repro_cache`` under the current
+working directory; override via ``REPRO_CACHE_DIR``.  Delete the directory
+to invalidate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..designspace import DesignPoint, DesignSpace, sampling_space
+from ..simulator import Simulator
+from ..workloads import BENCHMARK_NAMES
+from .campaign import Campaign, run_campaign
+from .dataset import Dataset
+from .scale import ScalePreset, get_scale
+
+#: Bump to invalidate caches when simulator/workload semantics change.
+CACHE_VERSION = 5
+
+
+class ArtifactError(RuntimeError):
+    """Raised for unreadable or mismatched artifacts."""
+
+
+def cache_dir() -> Path:
+    """Artifact cache directory (``REPRO_CACHE_DIR`` or ``.repro_cache``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def _campaign_key(
+    scale: ScalePreset, space: DesignSpace, benchmarks: Sequence[str],
+    memory_mode: str,
+) -> str:
+    payload = {
+        "version": CACHE_VERSION,
+        "scale": {
+            "trace_length": scale.trace_length,
+            "n_train": scale.n_train,
+            "n_validation": scale.n_validation,
+            "seed": scale.seed,
+        },
+        "space": {
+            "name": space.name,
+            "parameters": [
+                [p.name, list(p.values)] for p in space.parameters
+            ],
+        },
+        "benchmarks": list(benchmarks),
+        "memory_mode": memory_mode,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+def save_campaign(campaign: Campaign, path: Path) -> None:
+    """Serialize a campaign (points + metric columns) to JSON."""
+    payload = {
+        "version": CACHE_VERSION,
+        "space": campaign.space.name,
+        "scale": campaign.scale.name,
+        "benchmarks": list(campaign.benchmarks),
+        "train_points": [list(p.values) for p in campaign.train_points],
+        "validation_points": [list(p.values) for p in campaign.validation_points],
+        "metrics": {
+            split: {
+                bench: {
+                    name: getattr(campaign, split)[bench].metrics[name].tolist()
+                    for name in ("bips", "watts")
+                }
+                for bench in campaign.benchmarks
+            }
+            for split in ("train", "validation")
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload))
+    tmp.replace(path)
+
+
+def load_campaign(
+    path: Path, space: DesignSpace, scale: ScalePreset
+) -> Campaign:
+    """Deserialize a campaign; raises ArtifactError on any mismatch."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ArtifactError(f"unreadable campaign artifact {path}: {error}")
+    if payload.get("version") != CACHE_VERSION:
+        raise ArtifactError(
+            f"artifact version {payload.get('version')} != {CACHE_VERSION}"
+        )
+
+    def rebuild(raw_points) -> list:
+        return [DesignPoint(space.names, tuple(values)) for values in raw_points]
+
+    train_points = rebuild(payload["train_points"])
+    validation_points = rebuild(payload["validation_points"])
+    benchmarks = tuple(payload["benchmarks"])
+    campaign = Campaign(
+        space=space,
+        scale=scale,
+        benchmarks=benchmarks,
+        train_points=train_points,
+        validation_points=validation_points,
+    )
+    for split, points in (
+        ("train", train_points),
+        ("validation", validation_points),
+    ):
+        for bench in benchmarks:
+            metrics = payload["metrics"][split][bench]
+            getattr(campaign, split)[bench] = Dataset(
+                benchmark=bench,
+                space=space,
+                points=points,
+                metrics={
+                    "bips": np.asarray(metrics["bips"], dtype=float),
+                    "watts": np.asarray(metrics["watts"], dtype=float),
+                },
+            )
+    return campaign
+
+
+def cached_campaign(
+    simulator: Optional[Simulator] = None,
+    scale: Optional[ScalePreset] = None,
+    space: Optional[DesignSpace] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    refresh: bool = False,
+    workers: int = 1,
+) -> Campaign:
+    """Load the matching cached campaign or run and cache a fresh one."""
+    simulator = simulator or Simulator()
+    scale = scale or get_scale()
+    space = space or sampling_space()
+    names = tuple(benchmarks or BENCHMARK_NAMES)
+    key = _campaign_key(scale, space, names, simulator.memory_mode)
+    path = cache_dir() / f"campaign-{scale.name}-{key}.json"
+    if path.exists() and not refresh:
+        try:
+            return load_campaign(path, space, scale)
+        except ArtifactError:
+            pass  # stale or corrupt: fall through and regenerate
+    campaign = run_campaign(
+        simulator, scale=scale, space=space, benchmarks=names, workers=workers
+    )
+    save_campaign(campaign, path)
+    return campaign

@@ -1,0 +1,170 @@
+"""Simulation campaigns (Section 2.3's protocol).
+
+A campaign samples designs uniformly at random from the Table 1 space,
+simulates every sampled design on every benchmark, and assembles training
+and validation datasets — the inputs to model fitting and Figure 1.
+
+Campaigns are embarrassingly parallel across design points; pass
+``workers > 1`` to spread simulations over processes (each worker rebuilds
+its deterministic trace, so results are bit-identical to a serial run).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..designspace import DesignPoint, DesignSpace, sample_uar, sampling_space
+from ..regression import FittedModel, fit_ols, performance_spec, power_spec
+from ..simulator import Simulator
+from ..workloads import BENCHMARK_NAMES, get_profile
+from .dataset import Dataset
+from .scale import ScalePreset, get_scale
+
+
+@dataclass
+class Campaign:
+    """Everything a study context needs from the simulation phase."""
+
+    space: DesignSpace
+    scale: ScalePreset
+    benchmarks: tuple
+    train_points: List[DesignPoint]
+    validation_points: List[DesignPoint]
+    train: Dict[str, Dataset] = field(default_factory=dict)
+    validation: Dict[str, Dataset] = field(default_factory=dict)
+
+    def dataset(self, benchmark: str, split: str = "train") -> Dataset:
+        table = self.train if split == "train" else self.validation
+        try:
+            return table[benchmark]
+        except KeyError:
+            raise KeyError(
+                f"no {split} data for {benchmark!r}; have {sorted(table)}"
+            ) from None
+
+
+def _simulate_chunk(
+    space: DesignSpace,
+    benchmark: str,
+    trace_length: int,
+    seed: int,
+    memory_mode: str,
+    warm: bool,
+    points: List[DesignPoint],
+) -> List[Tuple[float, float]]:
+    """Worker: simulate ``points`` for one benchmark; returns (bips, watts).
+
+    Runs in a separate process: rebuilds the deterministic trace and a
+    fresh simulator, so outputs are identical to an in-process run.
+    """
+    simulator = Simulator(memory_mode=memory_mode, warm=warm)
+    trace = simulator.trace_for(get_profile(benchmark), trace_length, seed=seed)
+    results = [simulator.simulate_point(space, point, trace) for point in points]
+    return [(r.bips, float(r.watts)) for r in results]
+
+
+def _chunked(points: List[DesignPoint], chunks: int) -> List[List[DesignPoint]]:
+    size = max(1, (len(points) + chunks - 1) // chunks)
+    return [points[i : i + size] for i in range(0, len(points), size)]
+
+
+def run_campaign(
+    simulator: Simulator,
+    scale: Optional[ScalePreset] = None,
+    space: Optional[DesignSpace] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    progress=None,
+    workers: int = 1,
+) -> Campaign:
+    """Sample, simulate, and assemble datasets.
+
+    The training and validation samples are drawn disjointly UAR from the
+    *sampling* space (which is wider in depth than the exploration space —
+    Section 3.5's guard against extrapolation).  Every sampled design is
+    simulated for every benchmark, as in the paper.
+
+    ``workers > 1`` parallelizes over processes (results identical to the
+    serial run); ``progress`` callbacks fire only on the serial path.
+    """
+    scale = scale or get_scale()
+    space = space or sampling_space()
+    names = tuple(benchmarks or BENCHMARK_NAMES)
+
+    total = scale.n_train + scale.n_validation
+    points = sample_uar(space, total, seed=scale.seed)
+    train_points = points[: scale.n_train]
+    validation_points = points[scale.n_train :]
+
+    campaign = Campaign(
+        space=space,
+        scale=scale,
+        benchmarks=names,
+        train_points=train_points,
+        validation_points=validation_points,
+    )
+    splits = (("train", train_points), ("validation", validation_points))
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = {}
+            for benchmark in names:
+                for split, split_points in splits:
+                    chunks = _chunked(split_points, workers * 2)
+                    futures[(benchmark, split)] = [
+                        executor.submit(
+                            _simulate_chunk,
+                            space,
+                            benchmark,
+                            scale.trace_length,
+                            scale.seed,
+                            simulator.memory_mode,
+                            simulator.warm,
+                            chunk,
+                        )
+                        for chunk in chunks
+                    ]
+            for (benchmark, split), jobs in futures.items():
+                pairs = [pair for job in jobs for pair in job.result()]
+                bips = np.array([p[0] for p in pairs])
+                watts = np.array([p[1] for p in pairs])
+                split_points = dict(splits)[split]
+                getattr(campaign, split)[benchmark] = Dataset(
+                    benchmark=benchmark,
+                    space=space,
+                    points=list(split_points),
+                    metrics={"bips": bips, "watts": watts},
+                )
+        return campaign
+
+    for benchmark in names:
+        profile = get_profile(benchmark)
+        trace = simulator.trace_for(profile, scale.trace_length, seed=scale.seed)
+        for split, split_points in splits:
+            results = []
+            for i, point in enumerate(split_points):
+                results.append(simulator.simulate_point(space, point, trace))
+                if progress is not None:
+                    progress(benchmark, split, i + 1, len(split_points))
+            dataset = Dataset.from_results(benchmark, space, split_points, results)
+            getattr(campaign, split)[benchmark] = dataset
+    return campaign
+
+
+def fit_campaign_models(
+    campaign: Campaign,
+) -> Dict[str, Dict[str, FittedModel]]:
+    """Fit the paper's performance and power models per benchmark.
+
+    Returns ``{benchmark: {"bips": model, "watts": model}}``.
+    """
+    models: Dict[str, Dict[str, FittedModel]] = {}
+    for benchmark in campaign.benchmarks:
+        data = campaign.dataset(benchmark, "train").columns()
+        models[benchmark] = {
+            "bips": fit_ols(performance_spec(), data),
+            "watts": fit_ols(power_spec(), data),
+        }
+    return models

@@ -1,0 +1,97 @@
+"""Datasets: design points with simulated metrics.
+
+A :class:`Dataset` is the tabular bridge between the simulator and the
+regression layer: encoded predictor columns (one per design parameter)
+plus observed metric columns (bips, watts), keyed for one benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..designspace import DesignEncoder, DesignPoint, DesignSpace
+from ..simulator.results import SimulationResult
+
+
+class DatasetError(ValueError):
+    """Raised for inconsistent dataset construction."""
+
+
+@dataclass
+class Dataset:
+    """Observations for one benchmark over a set of design points."""
+
+    benchmark: str
+    space: DesignSpace
+    points: List[DesignPoint]
+    metrics: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.points)
+        for name, column in self.metrics.items():
+            if len(column) != n:
+                raise DatasetError(
+                    f"metric {name!r} has {len(column)} rows for {n} points"
+                )
+        self._encoder = DesignEncoder(self.space)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def predictor_columns(self) -> Dict[str, np.ndarray]:
+        """Encoded predictor columns keyed by parameter name."""
+        matrix = self._encoder.encode(self.points)
+        return {
+            name: matrix[:, j]
+            for j, name in enumerate(self._encoder.feature_names)
+        }
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """Predictors + metrics — the mapping ``fit_ols`` consumes."""
+        data = self.predictor_columns()
+        overlap = set(data) & set(self.metrics)
+        if overlap:
+            raise DatasetError(f"metric names collide with predictors: {overlap}")
+        data.update(self.metrics)
+        return data
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        """New dataset restricted to the given row indices."""
+        indices = list(indices)
+        return Dataset(
+            benchmark=self.benchmark,
+            space=self.space,
+            points=[self.points[i] for i in indices],
+            metrics={k: v[indices] for k, v in self.metrics.items()},
+        )
+
+    @classmethod
+    def from_results(
+        cls,
+        benchmark: str,
+        space: DesignSpace,
+        points: Sequence[DesignPoint],
+        results: Sequence[SimulationResult],
+    ) -> "Dataset":
+        """Assemble a dataset from simulation results (order-aligned)."""
+        if len(points) != len(results):
+            raise DatasetError(
+                f"{len(points)} points but {len(results)} results"
+            )
+        for result in results:
+            if result.watts is None:
+                raise DatasetError(
+                    "results must carry power; run them through a PowerModel"
+                )
+        return cls(
+            benchmark=benchmark,
+            space=space,
+            points=list(points),
+            metrics={
+                "bips": np.array([r.bips for r in results]),
+                "watts": np.array([r.watts for r in results]),
+            },
+        )

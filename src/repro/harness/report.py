@@ -1,0 +1,69 @@
+"""Full-run report generation.
+
+``repro report`` regenerates every experiment at the active scale and
+writes a single markdown document — the machine-written companion to
+EXPERIMENTS.md, useful for comparing scales or code revisions.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .scale import ScalePreset
+
+
+def generate_report(
+    ctx,
+    experiment_ids: Optional[Sequence[str]] = None,
+    title: str = "repro experiment report",
+) -> str:
+    """Run experiments against ``ctx`` and render a markdown report."""
+    # Imported here: repro.experiments imports the studies package, which
+    # imports this harness package at module load.
+    from ..experiments import EXPERIMENTS, run_experiment
+
+    ids = list(experiment_ids or EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {unknown}")
+
+    scale: ScalePreset = ctx.scale
+    lines = [
+        f"# {title}",
+        "",
+        f"- scale: `{scale.name}` (traces {scale.trace_length}, "
+        f"train {scale.n_train}, validation {scale.n_validation}, "
+        f"exploration {scale.exploration_limit or 'exhaustive'})",
+        f"- benchmarks: {', '.join(ctx.benchmarks)}",
+        f"- generated: {time.strftime('%Y-%m-%d %H:%M:%S')}",
+        "",
+    ]
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, ctx=ctx)
+        elapsed = time.time() - started
+        lines += [
+            f"## {result.id} — {result.title}",
+            "",
+            f"_regenerated in {elapsed:.1f}s_",
+            "",
+            "```",
+            result.text,
+            "```",
+            "",
+        ]
+    return "\n".join(lines)
+
+
+def write_report(
+    ctx,
+    path: Path,
+    experiment_ids: Optional[Sequence[str]] = None,
+) -> Path:
+    """Generate and write the report; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(generate_report(ctx, experiment_ids))
+    return path

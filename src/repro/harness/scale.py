@@ -1,0 +1,105 @@
+"""Scale presets.
+
+The paper's full protocol (1,000 training simulations x 9 benchmarks on
+100M-instruction traces; exhaustive 262,500-point predictions) is more
+than a test suite should pay for.  A :class:`ScalePreset` bundles every
+size knob; three presets ship:
+
+- ``ci`` — seconds; used by the test suite.
+- ``default`` — a few minutes for the full harness; the EXPERIMENTS.md
+  numbers are recorded at this scale.
+- ``paper`` — the paper's counts (long; traces remain synthetic).
+
+Select via the ``REPRO_SCALE`` environment variable or explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+
+class ScaleError(ValueError):
+    """Raised for unknown preset names or inconsistent knobs."""
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Every size knob of the experimental protocol."""
+
+    name: str
+    trace_length: int          #: dynamic instructions per benchmark trace
+    n_train: int               #: training designs sampled UAR (paper: 1000)
+    n_validation: int          #: random validation designs (paper: 100)
+    exploration_limit: Optional[int]  #: points predicted per benchmark (None = all)
+    per_depth_designs: int     #: enhanced-depth-study designs per depth level
+    frontier_validations: int  #: simulated designs along each pareto frontier
+    depth_validations: int     #: simulated designs per depth for Fig 6/7
+    seed: int                  #: master seed for sampling and traces
+
+    def __post_init__(self) -> None:
+        for label in (
+            "trace_length",
+            "n_train",
+            "n_validation",
+            "per_depth_designs",
+            "frontier_validations",
+            "depth_validations",
+        ):
+            if getattr(self, label) < 1:
+                raise ScaleError(f"{label} must be positive")
+        if self.exploration_limit is not None and self.exploration_limit < 1:
+            raise ScaleError("exploration_limit must be positive or None")
+
+    def with_overrides(self, **overrides) -> "ScalePreset":
+        return replace(self, **overrides)
+
+
+PRESETS: Dict[str, ScalePreset] = {
+    "ci": ScalePreset(
+        name="ci",
+        trace_length=2000,
+        n_train=90,
+        n_validation=20,
+        exploration_limit=2000,
+        per_depth_designs=250,
+        frontier_validations=4,
+        depth_validations=3,
+        seed=7,
+    ),
+    "default": ScalePreset(
+        name="default",
+        trace_length=8000,
+        n_train=300,
+        n_validation=60,
+        exploration_limit=20000,
+        per_depth_designs=2500,
+        frontier_validations=8,
+        depth_validations=7,
+        seed=7,
+    ),
+    "paper": ScalePreset(
+        name="paper",
+        trace_length=100000,
+        n_train=1000,
+        n_validation=100,
+        exploration_limit=None,
+        per_depth_designs=37500,
+        frontier_validations=20,
+        depth_validations=7,
+        seed=7,
+    ),
+}
+
+
+def get_scale(name: Optional[str] = None) -> ScalePreset:
+    """Preset by name, or by ``REPRO_SCALE`` (default ``default``)."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "default")
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ScaleError(
+            f"unknown scale {name!r}; presets are {sorted(PRESETS)}"
+        ) from None

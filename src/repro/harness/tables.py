@@ -1,0 +1,53 @@
+"""ASCII table rendering for the paper's tables."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class TableError(ValueError):
+    """Raised for ragged rows."""
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with a header rule, GitHub-style."""
+    width = len(headers)
+    for row in rows:
+        if len(row) != width:
+            raise TableError(
+                f"row has {len(row)} cells, expected {width}: {row}"
+            )
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    cells += [[_format(value) for value in row] for row in rows]
+    widths = [max(len(row[j]) for row in cells) for j in range(width)]
+
+    def line(row: Sequence[str]) -> str:
+        return " | ".join(value.rjust(w) for value, w in zip(row, widths))
+
+    rule = "-+-".join("-" * w for w in widths)
+    body = [line(cells[0]), rule] + [line(row) for row in cells[1:]]
+    if title:
+        body.insert(0, title)
+    return "\n".join(body)
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 100:
+            return f"{value:.0f}"
+        if magnitude >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_design_point(point) -> str:
+    """Compact one-line rendering of a design point."""
+    return " ".join(f"{name}={value}" for name, value in zip(point.names, point.values))

@@ -1,0 +1,17 @@
+"""Power-performance metrics."""
+
+from .metrics import (
+    MetricError,
+    bips3_per_watt,
+    delay_seconds,
+    energy_delay_squared,
+    relative_efficiency,
+)
+
+__all__ = [
+    "bips3_per_watt",
+    "delay_seconds",
+    "energy_delay_squared",
+    "relative_efficiency",
+    "MetricError",
+]

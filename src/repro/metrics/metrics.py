@@ -1,0 +1,50 @@
+"""Power-performance metrics (Section 4.2, footnote 2).
+
+The paper evaluates designs by delay (inverse throughput over a notional
+full run), power (watts) and ``bips^3/w`` — the voltage-invariant
+efficiency metric derived from the cubic power/voltage relationship [2].
+All functions accept scalars or numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MetricError(ValueError):
+    """Raised for non-physical metric inputs."""
+
+
+def _check_positive(name: str, value) -> None:
+    if np.any(np.asarray(value) <= 0):
+        raise MetricError(f"{name} must be positive")
+
+
+def delay_seconds(bips, ref_instructions: float):
+    """End-to-end delay of a ``ref_instructions``-long run at ``bips``."""
+    _check_positive("bips", bips)
+    _check_positive("ref_instructions", ref_instructions)
+    return ref_instructions / (np.asarray(bips, dtype=float) * 1e9)
+
+
+def bips3_per_watt(bips, watts):
+    """The paper's efficiency metric: inverse energy delay-squared."""
+    _check_positive("watts", watts)
+    bips = np.asarray(bips, dtype=float)
+    if np.any(bips < 0):
+        raise MetricError("bips must be non-negative")
+    return bips**3 / np.asarray(watts, dtype=float)
+
+
+def energy_delay_squared(bips, watts, ref_instructions: float):
+    """ED^2 product over the full run — the inverse view of bips^3/w."""
+    delay = delay_seconds(bips, ref_instructions)
+    energy = np.asarray(watts, dtype=float) * delay
+    return energy * delay**2
+
+
+def relative_efficiency(bips, watts, baseline_bips: float, baseline_watts: float):
+    """Efficiency normalized to a baseline design (Figures 5, 9)."""
+    return bips3_per_watt(bips, watts) / bips3_per_watt(
+        baseline_bips, baseline_watts
+    )

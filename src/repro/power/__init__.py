@@ -1,0 +1,26 @@
+"""Power modeling: CACTI array scaling + PowerTimer-style structure models."""
+
+from . import cacti, scaling, structures
+from .powertimer import PowerBreakdown, PowerModel
+from .voltage import (
+    InvarianceStudy,
+    OperatingPoint,
+    VoltageError,
+    invariance_study,
+    scale_operating_point,
+    split_power,
+)
+
+__all__ = [
+    "cacti",
+    "scaling",
+    "structures",
+    "PowerModel",
+    "PowerBreakdown",
+    "scale_operating_point",
+    "invariance_study",
+    "split_power",
+    "OperatingPoint",
+    "InvarianceStudy",
+    "VoltageError",
+]

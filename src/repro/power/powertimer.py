@@ -1,0 +1,76 @@
+"""PowerTimer-style power evaluation.
+
+:class:`PowerModel` combines the per-structure models into a total watts
+figure and a named breakdown, attached to a
+:class:`~repro.simulator.results.SimulationResult` after timing simulation
+— mirroring how PowerTimer derives power from Turandot's resource
+utilization statistics [1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict
+
+from . import structures
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with simulator.config
+    from ..simulator.config import MachineConfig
+    from ..simulator.results import ActivityCounts, SimulationResult
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Watts by structure, plus the total."""
+
+    components: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def fraction(self, name: str) -> float:
+        total = self.total
+        return self.components[name] / total if total else 0.0
+
+
+class PowerModel:
+    """Evaluates total power for (config, activity) pairs.
+
+    ``scale`` multiplies every component — a calibration hook for ablations
+    (e.g. technology scaling studies) that leaves relative behaviour alone.
+    """
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self._components: Dict[str, Callable[[MachineConfig, ActivityCounts], float]] = {
+            "clock": lambda c, a: structures.clock_power(c),
+            "frontend": structures.frontend_power,
+            "regfile": structures.regfile_power,
+            "issue_queues": structures.issue_queue_power,
+            "lsq": structures.lsq_power,
+            "functional_units": structures.fu_power,
+            "caches": structures.cache_power,
+            "base_leakage": lambda c, a: structures.base_leakage(c),
+        }
+
+    def breakdown(
+        self, config: MachineConfig, counts: ActivityCounts
+    ) -> PowerBreakdown:
+        """Per-structure watts for one simulated execution."""
+        components = {
+            name: self.scale * model(config, counts)
+            for name, model in self._components.items()
+        }
+        return PowerBreakdown(components=components)
+
+    def evaluate(
+        self, config: MachineConfig, result: SimulationResult
+    ) -> SimulationResult:
+        """Attach watts and the breakdown to ``result`` (in place)."""
+        breakdown = self.breakdown(config, result.counts)
+        result.watts = breakdown.total
+        result.power_breakdown = dict(breakdown.components)
+        return result

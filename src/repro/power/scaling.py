@@ -1,0 +1,69 @@
+"""Power scaling laws.
+
+The paper's power model inherits two key scaling behaviours (Section 2.1):
+
+- **superlinear width scaling** for multi-ported structures — register
+  files, rename logic, forwarding/bypass — following Zyuban's analysis
+  [25], while clustered functional units keep FU power growth near linear
+  with width [19, 25];
+- **depth-driven latch and clock power** — deeper pipelines (smaller FO4
+  per stage) insert more pipeline latches and clock them faster [26].
+
+This module centralizes those exponents and the latch-count model so the
+structure models in :mod:`repro.power.structures` stay declarative.
+"""
+
+from __future__ import annotations
+
+#: Reference machine width for normalizing width scaling factors.
+REFERENCE_WIDTH = 4
+
+#: Superlinear exponent for heavily multi-ported structures (register
+#: files, bypass network) [25].  Calibrated down from the raw port-count
+#: argument (~w^1.8) because the modeled machine, like the paper's, clusters
+#: its datapath so port fan-in does not grow with full machine width.
+PORTED_EXPONENT = 1.25
+
+#: Mildly superlinear exponent for rename/decode structures.
+FRONTEND_EXPONENT = 1.05
+
+#: Near-linear exponent for clustered functional units [19, 25].
+CLUSTERED_EXPONENT = 1.0
+
+#: Exponent for issue-queue broadcast networks.
+BROADCAST_EXPONENT = 0.7
+
+#: Latches per stage per unit of width (datapath registers).
+LATCHES_PER_STAGE_PER_WIDTH = 220.0
+
+#: Exponent of width in the latch count (datapath + control replication).
+LATCH_WIDTH_EXPONENT = 0.6
+
+#: Exponent of stage count in the latch count: mildly sublinear because
+#: some latch banks (architected state) do not replicate per stage.
+STAGE_EXPONENT = 0.85
+
+
+def width_scale(width: int, exponent: float) -> float:
+    """Power multiplier of a structure at ``width`` relative to 4-wide."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    return (width / REFERENCE_WIDTH) ** exponent
+
+
+def latch_count(depth_fo4: float, width: int) -> float:
+    """Approximate pipeline latch count.
+
+    Proportional to total stage count (which grows as FO4 per stage
+    shrinks) and sublinearly to machine width.
+    """
+    # Imported lazily: repro.simulator.config itself imports repro.power
+    # (for CACTI latencies), so a module-level import here would cycle.
+    from ..simulator import frequency
+
+    stages = frequency.total_stages(depth_fo4)
+    return (
+        LATCHES_PER_STAGE_PER_WIDTH
+        * stages**STAGE_EXPONENT
+        * width**LATCH_WIDTH_EXPONENT
+    )

@@ -1,0 +1,198 @@
+"""Per-structure power models.
+
+Each function returns watts for one microarchitectural structure given the
+machine configuration and the simulation's activity counts.  Dynamic power
+is ``energy/event x events/second``; nanojoules times gigahertz conveniently
+yields watts.  Structures with significant standby components (clock tree,
+arrays) carry explicit idle/leakage terms.
+
+Constants are calibrated so the POWER4-like baseline of Table 3 lands in
+the tens of watts and the 12 FO4 / 8-wide corner of the space reaches the
+~150W the paper's Figure 2 shows, with the correct *relative* scaling in
+depth, width and array sizes (see DESIGN.md on substitutions).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from . import cacti, scaling
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with simulator.config
+    from ..simulator.config import MachineConfig
+    from ..simulator.results import ActivityCounts
+
+# -- energy constants (nanojoules per event at the reference width) --------
+
+ENERGY_NJ = {
+    "decode": 0.9,
+    "rename": 1.1,
+    "int_op": 2.0,
+    "int_mul_op": 5.0,
+    "fp_op": 6.0,
+    "fp_div_op": 12.0,
+    "agen_op": 2.5,
+    "branch_op": 1.0,
+    "regfile_access": 0.235,  # per sqrt(entry) — see regfile_power
+    "issue_wakeup": 0.010,    # per queue entry searched
+    "lsq_search": 0.020,      # per queue entry searched
+    "predictor_access": 0.15,
+}
+
+#: Watts per latch per GHz (clock distribution + latch hold power).
+CLOCK_W_PER_LATCH_GHZ = 0.0018
+
+#: Idle (clock-gated floor) fraction of each array's peak dynamic power.
+ARRAY_IDLE_FRACTION = 0.10
+
+#: Core leakage per functional unit (watts).
+FU_LEAKAGE_W = 0.35
+
+#: Fixed platform leakage (watts): pads, PLLs, misc control.
+BASE_LEAKAGE_W = 4.0
+
+#: Leakage per physical register (watts).
+REGISTER_LEAKAGE_W = 0.004
+
+#: Leakage per queue entry (reservation stations, LSQ) in watts.
+QUEUE_LEAKAGE_W = 0.006
+
+
+def _per_second(events: int, counts: ActivityCounts, f_ghz: float) -> float:
+    """Events per nanosecond (== events/cycle * GHz)."""
+    return counts.activity(events) * f_ghz
+
+
+def clock_power(config: MachineConfig) -> float:
+    """Clock tree + pipeline latch power; the depth-sensitive term."""
+    latches = scaling.latch_count(config.depth_fo4, config.width)
+    return CLOCK_W_PER_LATCH_GHZ * latches * config.frequency_ghz
+
+
+def frontend_power(config: MachineConfig, counts: ActivityCounts) -> float:
+    """Fetch/decode/rename energy; mildly superlinear in width.
+
+    Includes wrong-path waste: each mispredict flushes a front end holding
+    roughly ``stages x width / 2`` instructions whose fetch/decode energy
+    was spent for nothing — a penalty that grows with pipeline depth and
+    width, as in PowerTimer's speculative-work accounting.
+    """
+    f = config.frequency_ghz
+    scale = scaling.width_scale(config.width, scaling.FRONTEND_EXPONENT)
+    wasted = counts.mispredicts * config.frontend_stages * config.width * 0.5
+    events = counts.instructions + wasted
+    decode = ENERGY_NJ["decode"] * _per_second(events, counts, f)
+    rename = ENERGY_NJ["rename"] * _per_second(events, counts, f)
+    predictor = ENERGY_NJ["predictor_access"] * _per_second(counts.branches, counts, f)
+    return (decode + rename) * scale + predictor
+
+
+def regfile_power(config: MachineConfig, counts: ActivityCounts) -> float:
+    """Multi-ported register files; the strongest width-superlinear term."""
+    f = config.frequency_ghz
+    scale = scaling.width_scale(config.width, scaling.PORTED_EXPONENT)
+    e_gpr = ENERGY_NJ["regfile_access"] * config.gpr_phys**0.5 * scale
+    e_fpr = ENERGY_NJ["regfile_access"] * config.fpr_phys**0.5 * scale
+    gpr_events = counts.gpr_reads + counts.gpr_writes
+    fpr_events = counts.fpr_reads + counts.fpr_writes
+    dynamic = e_gpr * _per_second(gpr_events, counts, f)
+    dynamic += e_fpr * _per_second(fpr_events, counts, f)
+    leakage = REGISTER_LEAKAGE_W * (
+        config.gpr_phys + config.fpr_phys + config.spr_phys
+    )
+    return dynamic + leakage
+
+
+def issue_queue_power(config: MachineConfig, counts: ActivityCounts) -> float:
+    """Reservation-station wakeup/select; broadcast cost grows with width."""
+    f = config.frequency_ghz
+    scale = scaling.width_scale(config.width, scaling.BROADCAST_EXPONENT)
+    e = ENERGY_NJ["issue_wakeup"] * scale
+    int_events = counts.int_ops + counts.int_mul_ops
+    fp_events = counts.fp_ops + counts.fp_div_ops
+    dynamic = e * config.fx_resv * _per_second(int_events, counts, f)
+    dynamic += e * config.fp_resv * _per_second(fp_events, counts, f)
+    dynamic += e * config.br_resv * _per_second(counts.branches, counts, f)
+    leakage = QUEUE_LEAKAGE_W * (config.fx_resv + config.fp_resv + config.br_resv)
+    return dynamic + leakage
+
+
+def lsq_power(config: MachineConfig, counts: ActivityCounts) -> float:
+    """Load/store queue CAM search per memory operation."""
+    f = config.frequency_ghz
+    events = counts.loads + counts.stores
+    dynamic = ENERGY_NJ["lsq_search"] * config.ls_queue * _per_second(events, counts, f)
+    leakage = QUEUE_LEAKAGE_W * (config.ls_queue + config.store_queue)
+    return dynamic + leakage
+
+
+def fu_power(config: MachineConfig, counts: ActivityCounts) -> float:
+    """Functional units: near-linear in width thanks to clustering."""
+    f = config.frequency_ghz
+    scale = scaling.width_scale(config.width, scaling.CLUSTERED_EXPONENT)
+    dynamic = (
+        ENERGY_NJ["int_op"] * _per_second(counts.int_ops, counts, f)
+        + ENERGY_NJ["int_mul_op"] * _per_second(counts.int_mul_ops, counts, f)
+        + ENERGY_NJ["fp_op"] * _per_second(counts.fp_ops, counts, f)
+        + ENERGY_NJ["fp_div_op"] * _per_second(counts.fp_div_ops, counts, f)
+        + ENERGY_NJ["agen_op"] * _per_second(counts.loads + counts.stores, counts, f)
+        + ENERGY_NJ["branch_op"] * _per_second(counts.branches, counts, f)
+    ) * scale
+    # 4 unit classes (FXU/FPU/LSU/BR), `functional_units` of each.
+    leakage = FU_LEAKAGE_W * 4 * config.functional_units
+    return dynamic + leakage
+
+
+def _array_power(
+    size_kb: float, assoc: int, accesses: int, counts: ActivityCounts, f_ghz: float
+) -> float:
+    """Dynamic + idle + leakage power of one cache array."""
+    energy = cacti.access_energy_nj(size_kb, assoc)
+    dynamic = energy * _per_second(accesses, counts, f_ghz)
+    idle = ARRAY_IDLE_FRACTION * energy * f_ghz  # gated clock floor
+    return dynamic + idle + cacti.leakage_w(size_kb)
+
+
+def cache_power(config: MachineConfig, counts: ActivityCounts) -> float:
+    """All three cache arrays plus the memory interface."""
+    f = config.frequency_ghz
+    total = _array_power(config.il1_kb, config.il1_assoc, counts.il1_accesses, counts, f)
+    total += _array_power(config.dl1_kb, config.dl1_assoc, counts.dl1_accesses, counts, f)
+    total += _array_power(
+        config.l2_mb * 1024.0, config.l2_assoc, counts.l2_accesses, counts, f
+    )
+    total += cacti.MEMORY_ACCESS_ENERGY_NJ * _per_second(
+        counts.memory_accesses, counts, f
+    )
+    return total
+
+
+def base_leakage(config: MachineConfig) -> float:
+    """Fixed platform leakage."""
+    return BASE_LEAKAGE_W
+
+
+def static_power(config: MachineConfig) -> dict:
+    """Leakage-only watts per structure (no activity dependence).
+
+    Used to split each structure's total into dynamic and static parts —
+    the two scale differently under voltage scaling (~V^3 with frequency
+    versus ~V), which is what limits the bips^3/w metric's voltage
+    invariance in practice.
+    """
+    return {
+        "clock": 0.0,  # clock tree power is all switching
+        "frontend": 0.0,
+        "regfile": REGISTER_LEAKAGE_W
+        * (config.gpr_phys + config.fpr_phys + config.spr_phys),
+        "issue_queues": QUEUE_LEAKAGE_W
+        * (config.fx_resv + config.fp_resv + config.br_resv),
+        "lsq": QUEUE_LEAKAGE_W * (config.ls_queue + config.store_queue),
+        "functional_units": FU_LEAKAGE_W * 4 * config.functional_units,
+        "caches": (
+            cacti.leakage_w(config.il1_kb)
+            + cacti.leakage_w(config.dl1_kb)
+            + cacti.leakage_w(config.l2_mb * 1024.0)
+        ),
+        "base_leakage": BASE_LEAKAGE_W,
+    }

@@ -1,0 +1,164 @@
+"""Ordinary least squares fitting.
+
+The paper fits Equation (1) by the method of least squares; we solve the
+normal equations with a numerically stable SVD-based ``lstsq``.  The
+returned :class:`FittedModel` carries everything later stages need:
+prediction on the original metric scale, coefficient tables for
+significance testing, and residual/goodness-of-fit summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple  # noqa: F401 (Tuple used in signatures)
+
+import numpy as np
+
+from .formula import ModelSpec
+from .terms import BoundTerm, Columns, TermError, bind_terms, design_matrix
+
+
+class FitError(ValueError):
+    """Raised for unusable training data."""
+
+
+@dataclass
+class FittedModel:
+    """A trained regression model.
+
+    Predictions run the linear system forward and invert the response
+    transform; ``predict_transformed`` exposes the transformed scale for
+    diagnostics.
+    """
+
+    spec: ModelSpec
+    bound_terms: Tuple[BoundTerm, ...]
+    column_names: Tuple[str, ...]  # excludes the intercept
+    coefficients: np.ndarray       # includes the intercept at index 0
+    n_observations: int
+    residual_variance: float
+    xtx_inverse: np.ndarray
+    r_squared: float
+
+    @property
+    def n_parameters(self) -> int:
+        return self.coefficients.size
+
+    @property
+    def degrees_of_freedom(self) -> int:
+        return self.n_observations - self.n_parameters
+
+    @property
+    def adjusted_r_squared(self) -> float:
+        if self.degrees_of_freedom <= 0:
+            return float("nan")
+        n, p = self.n_observations, self.n_parameters
+        return 1.0 - (1.0 - self.r_squared) * (n - 1) / (n - p)
+
+    def design_matrix(self, data: Columns) -> np.ndarray:
+        """Design matrix of ``data`` under this model's bound terms."""
+        return design_matrix(self.bound_terms, data)
+
+    def predict_transformed(self, data: Columns) -> np.ndarray:
+        """Predictions on the transformed (fitting) scale."""
+        return self.design_matrix(data) @ self.coefficients
+
+    def predict(self, data: Columns) -> np.ndarray:
+        """Predictions on the original metric scale."""
+        return self.spec.transform.inverse(self.predict_transformed(data))
+
+    def coefficient_table(self) -> Dict[str, float]:
+        """Coefficients keyed by column name (intercept first)."""
+        names = ("(intercept)",) + self.column_names
+        return dict(zip(names, self.coefficients.tolist()))
+
+    def standard_errors(self) -> np.ndarray:
+        """Standard error of each coefficient."""
+        return np.sqrt(np.maximum(np.diag(self.xtx_inverse), 0.0) * self.residual_variance)
+
+    def prediction_interval(
+        self, data: Columns, level: float = 0.95
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Two-sided prediction interval on the original metric scale.
+
+        Computed on the transformed scale — mean response variance
+        ``x (X'X)^-1 x' sigma^2`` plus the residual variance — then mapped
+        back through the inverse transform.  Because sqrt/log are
+        monotone, the transformed-scale interval endpoints map to valid
+        original-scale endpoints.
+        """
+        if not 0 < level < 1:
+            raise FitError(f"level must be in (0, 1), got {level}")
+        from scipy import stats as scipy_stats
+
+        X = self.design_matrix(data)
+        mean = X @ self.coefficients
+        leverage = np.einsum("ij,jk,ik->i", X, self.xtx_inverse, X)
+        spread = np.sqrt(
+            np.maximum(self.residual_variance * (1.0 + leverage), 0.0)
+        )
+        critical = float(
+            scipy_stats.t.ppf(0.5 + level / 2.0, self.degrees_of_freedom)
+        )
+        transform = self.spec.transform
+        # The sqrt inverse squares its argument, which would fold a
+        # negative transformed lower bound back upward; clamp at the
+        # transform's domain floor (0 for sqrt) before inverting.
+        floor = 0.0 if transform.name == "sqrt" else -np.inf
+        low_z = np.maximum(mean - critical * spread, floor)
+        high = transform.inverse(mean + critical * spread)
+        low = transform.inverse(low_z)
+        return low, high
+
+
+def fit_ols(spec: ModelSpec, data: Mapping[str, np.ndarray]) -> FittedModel:
+    """Fit ``spec`` to training ``data`` (columns keyed by name).
+
+    ``data`` must contain the response column and every predictor the
+    spec's terms reference.
+    """
+    if spec.response not in data:
+        raise FitError(
+            f"response {spec.response!r} missing from data; "
+            f"available: {sorted(data)}"
+        )
+    y_raw = np.asarray(data[spec.response], dtype=float)
+    if y_raw.ndim != 1:
+        raise FitError("response must be one-dimensional")
+    n = y_raw.size
+
+    bound, names = bind_terms(spec.terms, data)
+    X = design_matrix(bound, data)
+    if X.shape[0] != n:
+        raise FitError(
+            f"design matrix has {X.shape[0]} rows for {n} responses"
+        )
+    p = X.shape[1]
+    if n <= p:
+        raise FitError(
+            f"need more observations ({n}) than parameters ({p}); "
+            "increase the sample or simplify the model"
+        )
+
+    z = spec.transform.forward(y_raw)
+    beta, _, rank, _ = np.linalg.lstsq(X, z, rcond=None)
+    residuals = z - X @ beta
+    dof = n - p
+    sigma2 = float(residuals @ residuals) / dof if dof > 0 else float("nan")
+    total = float(((z - z.mean()) ** 2).sum())
+    r_squared = 1.0 - float(residuals @ residuals) / total if total > 0 else 1.0
+
+    # (X'X)^-1 via pseudo-inverse: tolerant of the rank deficiency that
+    # constrained studies (pinned parameters) can produce.
+    xtx_inverse = np.linalg.pinv(X.T @ X)
+
+    return FittedModel(
+        spec=spec,
+        bound_terms=bound,
+        column_names=names,
+        coefficients=beta,
+        n_observations=n,
+        residual_variance=sigma2,
+        xtx_inverse=xtx_inverse,
+        r_squared=r_squared,
+    )

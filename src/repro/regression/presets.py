@@ -1,0 +1,135 @@
+"""The paper's model specifications (Sections 3.2-3.3).
+
+Two specs — performance (bips, sqrt response) and power (watts, log
+response) — over the seven Table 1 predictors.  Knot counts follow the
+paper's rule: predictors with stronger response relationships (pipeline
+depth, register file size) get 4 knots, weaker ones (cache sizes,
+reservation stations) get 3.  Interactions come from the domain analysis
+of Section 3.2:
+
+- depth x cache sizes (memory stalls constrain pipelining gains),
+- width x register file and width x queue sizes,
+- adjacent cache levels (L1 x L2).
+
+Predictor columns are the design-space encodings: geometric parameters
+(width, cache sizes) arrive log2-scaled from
+:class:`~repro.designspace.DesignEncoder`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .formula import ModelSpec
+from .terms import InteractionTerm, SplineTerm, Term
+from .transforms import LogTransform, SqrtTransform
+
+#: Predictor names in design-space order (matching Table 1 groups).
+PREDICTORS: Tuple[str, ...] = (
+    "depth",
+    "width",
+    "gpr_phys",
+    "br_resv",
+    "il1_kb",
+    "dl1_kb",
+    "l2_mb",
+)
+
+
+def paper_terms() -> Tuple[Term, ...]:
+    """Main effects + the paper's domain-specified interactions."""
+    return (
+        # main effects — 4 knots for the strong predictors, 3 for the rest
+        SplineTerm("depth", knots=4),
+        SplineTerm("width", knots=3),
+        SplineTerm("gpr_phys", knots=4),
+        SplineTerm("br_resv", knots=3),
+        SplineTerm("il1_kb", knots=3),
+        SplineTerm("dl1_kb", knots=3),
+        SplineTerm("l2_mb", knots=3),
+        # depth interacts with the memory hierarchy (Section 3.2)
+        InteractionTerm("depth", "dl1_kb"),
+        InteractionTerm("depth", "l2_mb"),
+        # width interacts with window resources
+        InteractionTerm("width", "gpr_phys"),
+        InteractionTerm("width", "br_resv"),
+        # adjacent cache levels interact
+        InteractionTerm("il1_kb", "l2_mb"),
+        InteractionTerm("dl1_kb", "l2_mb"),
+    )
+
+
+def performance_spec() -> ModelSpec:
+    """The paper's performance model: sqrt(bips) on splines+interactions."""
+    return ModelSpec(
+        response="bips",
+        terms=paper_terms(),
+        transform=SqrtTransform(),
+        name="performance",
+    )
+
+
+def power_spec() -> ModelSpec:
+    """The paper's power model: log(watts) on splines+interactions."""
+    return ModelSpec(
+        response="watts",
+        terms=paper_terms(),
+        transform=LogTransform(),
+        name="power",
+    )
+
+
+#: Extra predictors of the extended (future-work) space, Section 8.
+EXTENDED_PREDICTORS: Tuple[str, ...] = PREDICTORS + ("dl1_assoc", "in_order")
+
+
+def extended_terms() -> Tuple[Term, ...]:
+    """Paper terms + cache associativity and issue-discipline effects.
+
+    Associativity enters log2-encoded with 3 knots (it modulates effective
+    cache capacity, a weak-predictor per the Section 3.3 rule) and
+    interacts with d-L1 size; the in-order flag is binary, entering
+    linearly and interacting with width (in-order machines cannot convert
+    width into ILP as effectively).
+    """
+    from .terms import LinearTerm
+
+    return paper_terms() + (
+        SplineTerm("dl1_assoc", knots=3),
+        LinearTerm("in_order"),
+        InteractionTerm("dl1_assoc", "dl1_kb"),
+        InteractionTerm("in_order", "width"),
+        InteractionTerm("in_order", "gpr_phys"),
+    )
+
+
+def extended_performance_spec() -> ModelSpec:
+    """Performance model over the extended design space."""
+    return ModelSpec(
+        response="bips",
+        terms=extended_terms(),
+        transform=SqrtTransform(),
+        name="performance-extended",
+    )
+
+
+def extended_power_spec() -> ModelSpec:
+    """Power model over the extended design space."""
+    return ModelSpec(
+        response="watts",
+        terms=extended_terms(),
+        transform=LogTransform(),
+        name="power-extended",
+    )
+
+
+def main_effects_only_terms() -> Tuple[Term, ...]:
+    """Ablation: the paper's splines without any interactions."""
+    return tuple(term for term in paper_terms() if isinstance(term, SplineTerm))
+
+
+def linear_terms() -> Tuple[Term, ...]:
+    """Ablation: plain linear main effects (no splines, no interactions)."""
+    from .terms import LinearTerm
+
+    return tuple(LinearTerm(name) for name in PREDICTORS)

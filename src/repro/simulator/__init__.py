@@ -1,0 +1,81 @@
+"""Cycle-approximate out-of-order superscalar simulator (Turandot's role).
+
+Import order matters here: :mod:`repro.power` imports
+``repro.simulator.frequency`` while :mod:`repro.simulator.config` imports
+``repro.power.cacti``, so ``frequency`` must be bound on this package
+before ``config`` is loaded.
+"""
+
+from . import frequency  # noqa: F401  (must precede config; see docstring)
+from .branch import (
+    BimodalPredictor,
+    BranchPredictor,
+    GSharePredictor,
+    OneBitBHT,
+    PredictorConfigError,
+    build_predictor,
+)
+from .caches import (
+    BLOCK_BYTES,
+    Cache,
+    CacheConfigError,
+    CacheHierarchy,
+    CacheStats,
+    build_hierarchy,
+)
+from .config import (
+    ARCHITECTED_FPR,
+    ARCHITECTED_GPR,
+    BASELINE_SETTINGS,
+    ConfigError,
+    MachineConfig,
+    ROB_SIZE,
+    baseline_config,
+    baseline_point,
+    config_from_point,
+)
+from .memory import (
+    FunctionalMemory,
+    StackDistanceMemory,
+    associativity_factor,
+)
+from .pipeline import PipelineOutcome, run_pipeline
+from .resources import OccupancyWindow, ResourceError, ThroughputLimiter
+from .results import ActivityCounts, SimulationResult
+from .simulator import Simulator
+
+__all__ = [
+    "frequency",
+    "Simulator",
+    "MachineConfig",
+    "ConfigError",
+    "config_from_point",
+    "baseline_config",
+    "baseline_point",
+    "BASELINE_SETTINGS",
+    "ARCHITECTED_GPR",
+    "ARCHITECTED_FPR",
+    "ROB_SIZE",
+    "run_pipeline",
+    "PipelineOutcome",
+    "SimulationResult",
+    "ActivityCounts",
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "CacheConfigError",
+    "build_hierarchy",
+    "BLOCK_BYTES",
+    "BranchPredictor",
+    "OneBitBHT",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "build_predictor",
+    "PredictorConfigError",
+    "OccupancyWindow",
+    "ThroughputLimiter",
+    "ResourceError",
+    "StackDistanceMemory",
+    "FunctionalMemory",
+    "associativity_factor",
+]

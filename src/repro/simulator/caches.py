@@ -1,0 +1,172 @@
+"""Set-associative cache models.
+
+Functional cache simulation with true LRU replacement.  The timing model
+only needs hit/miss outcomes per access (latencies come from the machine
+config), so caches track block tags, not data.
+
+Block ids are abstract 128-byte block numbers.  Instruction and data blocks
+share the unified L2 but live in disjoint id ranges (see
+``INSTRUCTION_SPACE_OFFSET``), mirroring distinct address-space regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Cache block size in bytes, matching the paper's 128B blocks (Table 3).
+BLOCK_BYTES = 128
+
+#: Offset added to instruction block ids before they reach the unified L2,
+#: keeping code and data in disjoint regions of the block address space.
+INSTRUCTION_SPACE_OFFSET = 1 << 40
+
+
+class CacheConfigError(ValueError):
+    """Raised for invalid cache geometries."""
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = self.evictions = 0
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement."""
+
+    def __init__(self, name: str, size_kb: float, assoc: int,
+                 block_bytes: int = BLOCK_BYTES):
+        if size_kb <= 0:
+            raise CacheConfigError(f"{name}: size must be positive, got {size_kb}")
+        if assoc < 1:
+            raise CacheConfigError(f"{name}: associativity must be >= 1")
+        if block_bytes < 1:
+            raise CacheConfigError(f"{name}: block size must be >= 1")
+        total_blocks = int(size_kb * 1024) // block_bytes
+        if total_blocks < assoc:
+            raise CacheConfigError(
+                f"{name}: {size_kb}KB holds {total_blocks} blocks, fewer than "
+                f"associativity {assoc}"
+            )
+        self.name = name
+        self.size_kb = size_kb
+        self.assoc = assoc
+        self.block_bytes = block_bytes
+        self.n_sets = max(1, total_blocks // assoc)
+        self.stats = CacheStats()
+        # Per-set LRU order: least recent first, most recent last.
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+
+    def access(self, block: int) -> bool:
+        """Access one block; returns True on hit.  Misses allocate."""
+        self.stats.accesses += 1
+        ways = self._sets[block % self.n_sets]
+        if block in ways:
+            self.stats.hits += 1
+            # Refresh LRU position unless already most recent.
+            if ways[-1] != block:
+                ways.remove(block)
+                ways.append(block)
+            return True
+        self.stats.misses += 1
+        ways.append(block)
+        if len(ways) > self.assoc:
+            ways.pop(0)
+            self.stats.evictions += 1
+        return False
+
+    def probe(self, block: int) -> bool:
+        """Check presence without updating LRU state or counters."""
+        return block in self._sets[block % self.n_sets]
+
+    def contents(self) -> List[int]:
+        """All resident blocks (for tests and invariant checks)."""
+        return [block for ways in self._sets for block in ways]
+
+    def reset(self) -> None:
+        """Flush contents and counters."""
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.stats.reset()
+
+
+@dataclass
+class HierarchyStats:
+    """Combined statistics of a three-level hierarchy."""
+
+    il1: CacheStats = field(default_factory=CacheStats)
+    dl1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    memory_accesses: int = 0
+
+
+class CacheHierarchy:
+    """Split L1 (instruction + data) over a unified L2 over memory.
+
+    ``data_access``/``instruction_access`` return the *level* that serviced
+    the access: ``"l1"``, ``"l2"`` or ``"mem"``.  The timing model converts
+    levels to latencies using the machine config.
+    """
+
+    def __init__(self, il1: Cache, dl1: Cache, l2: Cache):
+        self.il1 = il1
+        self.dl1 = dl1
+        self.l2 = l2
+        self.memory_accesses = 0
+
+    def data_access(self, block: int) -> str:
+        if self.dl1.access(block):
+            return "l1"
+        if self.l2.access(block):
+            return "l2"
+        self.memory_accesses += 1
+        return "mem"
+
+    def instruction_access(self, block: int) -> str:
+        if self.il1.access(block):
+            return "l1"
+        if self.l2.access(block + INSTRUCTION_SPACE_OFFSET):
+            return "l2"
+        self.memory_accesses += 1
+        return "mem"
+
+    def stats(self) -> HierarchyStats:
+        return HierarchyStats(
+            il1=self.il1.stats,
+            dl1=self.dl1.stats,
+            l2=self.l2.stats,
+            memory_accesses=self.memory_accesses,
+        )
+
+    def reset(self) -> None:
+        self.il1.reset()
+        self.dl1.reset()
+        self.l2.reset()
+        self.memory_accesses = 0
+
+
+def build_hierarchy(
+    il1_kb: float,
+    dl1_kb: float,
+    l2_mb: float,
+    il1_assoc: int = 1,
+    dl1_assoc: int = 2,
+    l2_assoc: int = 4,
+) -> CacheHierarchy:
+    """Hierarchy with the paper's baseline associativities (Table 3)."""
+    return CacheHierarchy(
+        il1=Cache("il1", il1_kb, il1_assoc),
+        dl1=Cache("dl1", dl1_kb, dl1_assoc),
+        l2=Cache("l2", l2_mb * 1024.0, l2_assoc),
+    )

@@ -1,0 +1,167 @@
+"""Simulator facade.
+
+Ties the pieces together the way the paper's toolchain does: a design
+point resolves to a machine config, the benchmark trace is replayed
+through the out-of-order timing model (Turandot's role), and the
+PowerTimer-style model converts the activity counts into watts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..designspace import DesignPoint, DesignSpace
+from ..power import PowerModel
+from ..workloads import Trace, WorkloadProfile, generate_trace
+from .branch import build_predictor
+from .caches import build_hierarchy
+from .config import MachineConfig, config_from_point
+from .memory import FunctionalMemory, StackDistanceMemory
+from .pipeline import run_pipeline
+from .results import SimulationResult
+
+MEMORY_MODES = ("stack", "functional")
+
+
+class Simulator:
+    """Performance + power simulation of traces on configurable machines.
+
+    One instance holds a power model and an optional trace cache; it is
+    stateless across ``simulate`` calls (caches and predictors are fresh
+    per simulation, as with the paper's per-run simulator invocations).
+
+    ``memory_mode`` selects the cache model: ``"stack"`` (default) uses
+    steady-state reuse-distance classification; ``"functional"`` drives the
+    concrete set-associative hierarchy with block ids (cold-start,
+    validation-oriented).
+
+    ``warm=True`` (default) functionally warms stateful structures — the
+    branch predictor, and in functional mode the caches — by replaying the
+    trace's access streams once before the timed run, the same functional
+    warming protocol sampled simulation uses (SMARTS [24]); short traces
+    then measure steady-state behaviour instead of cold-start transients.
+    """
+
+    def __init__(
+        self,
+        power_model: Optional[PowerModel] = None,
+        memory_mode: str = "stack",
+        warm: bool = True,
+    ):
+        if memory_mode not in MEMORY_MODES:
+            raise ValueError(
+                f"unknown memory mode {memory_mode!r}; choices are {MEMORY_MODES}"
+            )
+        self.power_model = power_model or PowerModel()
+        self.memory_mode = memory_mode
+        self.warm = warm
+        self._trace_cache: Dict[tuple, Trace] = {}
+        self._branch_cache: Dict[tuple, list] = {}
+
+    # -- trace management ----------------------------------------------------
+
+    def trace_for(
+        self, profile: WorkloadProfile, length: int, seed: int = 0
+    ) -> Trace:
+        """Generate (and memoize) the synthetic trace for a profile."""
+        key = (profile.name, length, seed)
+        if key not in self._trace_cache:
+            self._trace_cache[key] = generate_trace(profile, length, seed)
+        return self._trace_cache[key]
+
+    # -- simulation ------------------------------------------------------------
+
+    def simulate(
+        self, trace: Trace, config: MachineConfig
+    ) -> SimulationResult:
+        """Run one trace on one machine; returns a result with power attached."""
+        if self.memory_mode == "functional":
+            memory = FunctionalMemory(
+                build_hierarchy(
+                    config.il1_kb,
+                    config.dl1_kb,
+                    config.l2_mb,
+                    il1_assoc=config.il1_assoc,
+                    dl1_assoc=config.dl1_assoc,
+                    l2_assoc=config.l2_assoc,
+                )
+            )
+        else:
+            memory = StackDistanceMemory(config)
+        predictor = build_predictor(config.predictor, config.predictor_entries)
+        if self.warm:
+            self._warm_structures(trace, memory, predictor)
+        outcome = run_pipeline(trace, config, memory, predictor)
+        result = SimulationResult(
+            benchmark=trace.name,
+            cycles=outcome.cycles,
+            instructions=len(trace),
+            frequency_ghz=config.frequency_ghz,
+            counts=outcome.counts,
+            config_summary=config.describe(),
+            ref_instructions=trace.ref_instructions,
+        )
+        return self.power_model.evaluate(config, result)
+
+    def _warm_structures(self, trace: Trace, memory, predictor) -> None:
+        """Functional warming: replay access streams, then reset counters.
+
+        The predictor is always warmed; caches only in functional mode
+        (the stack-distance model is stateless and already steady-state).
+        """
+        for site, taken in self._branch_stream(trace):
+            predictor.predict_and_update(site, taken)
+        predictor.stats.predictions = 0
+        predictor.stats.mispredictions = 0
+        if isinstance(memory, FunctionalMemory):
+            hierarchy = memory.hierarchy
+            is_mem = trace.mem_block >= 0
+            for block in trace.mem_block[is_mem].tolist():
+                hierarchy.data_access(block)
+            fetch_events = trace.instr_reuse >= 0
+            for block in trace.iblock[fetch_events].tolist():
+                hierarchy.instruction_access(block)
+            hierarchy.il1.stats.reset()
+            hierarchy.dl1.stats.reset()
+            hierarchy.l2.stats.reset()
+            hierarchy.memory_accesses = 0
+
+    def _branch_stream(self, trace: Trace):
+        """(site, taken) pairs of the trace's branches, memoized by identity.
+
+        Keyed on the trace's defining tuple (name, length, seed) — object
+        ids are unsafe keys because CPython reuses them after collection.
+        """
+        key = (trace.name, len(trace), trace.metadata.get("seed"))
+        stream = self._branch_cache.get(key)
+        if stream is None:
+            mask = trace.branch_site >= 0
+            stream = list(
+                zip(trace.branch_site[mask].tolist(), trace.taken[mask].tolist())
+            )
+            self._branch_cache[key] = stream
+        return stream
+
+    def simulate_point(
+        self,
+        space: DesignSpace,
+        point: DesignPoint,
+        trace: Trace,
+        **config_overrides,
+    ) -> SimulationResult:
+        """Resolve ``point`` against ``space`` and simulate ``trace`` on it."""
+        config = config_from_point(space, point, **config_overrides)
+        return self.simulate(trace, config)
+
+    def simulate_many(
+        self,
+        space: DesignSpace,
+        points: Iterable[DesignPoint],
+        trace: Trace,
+        **config_overrides,
+    ) -> list:
+        """Simulate one trace across many design points."""
+        return [
+            self.simulate_point(space, point, trace, **config_overrides)
+            for point in points
+        ]

@@ -1,0 +1,15 @@
+"""The paper's three design-space studies plus the search extension."""
+
+from . import depth, heterogeneity, pareto, robustness, scheduling, search
+from .common import PredictionTable, StudyContext
+
+__all__ = [
+    "StudyContext",
+    "PredictionTable",
+    "pareto",
+    "depth",
+    "heterogeneity",
+    "search",
+    "robustness",
+    "scheduling",
+]

@@ -1,0 +1,200 @@
+"""Shared study infrastructure.
+
+A :class:`StudyContext` owns everything the three design-space studies
+need: the sampling and exploration spaces, the (cached) simulation
+campaign, the fitted per-benchmark regression models, the exploration
+point sets, and prediction/simulation helpers.  Every study function takes
+a context, so one campaign and one model fit serve all figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..designspace import (
+    DesignEncoder,
+    DesignPoint,
+    DesignSpace,
+    exploration_space,
+    sample_stratified,
+    sample_uar,
+    sampling_space,
+)
+from ..harness import Campaign, cached_campaign, fit_campaign_models, get_scale
+from ..harness.scale import ScalePreset
+from ..metrics import bips3_per_watt, delay_seconds
+from ..regression import FittedModel
+from ..simulator import Simulator, baseline_point
+from ..simulator.results import SimulationResult
+from ..workloads import BENCHMARK_NAMES, get_profile
+
+
+@dataclass
+class PredictionTable:
+    """Regression predictions over a set of design points."""
+
+    benchmark: str
+    points: List[DesignPoint]
+    bips: np.ndarray
+    watts: np.ndarray
+    ref_instructions: float
+
+    def __post_init__(self) -> None:
+        if not (len(self.points) == self.bips.size == self.watts.size):
+            raise ValueError("prediction table columns disagree in length")
+
+    @property
+    def delay(self) -> np.ndarray:
+        return delay_seconds(self.bips, self.ref_instructions)
+
+    @property
+    def efficiency(self) -> np.ndarray:
+        return bips3_per_watt(self.bips, self.watts)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def subset(self, indices: Sequence[int]) -> "PredictionTable":
+        indices = list(indices)
+        return PredictionTable(
+            benchmark=self.benchmark,
+            points=[self.points[i] for i in indices],
+            bips=self.bips[indices],
+            watts=self.watts[indices],
+            ref_instructions=self.ref_instructions,
+        )
+
+
+class StudyContext:
+    """One campaign + one model fit, shared by all studies."""
+
+    def __init__(
+        self,
+        scale: Optional[ScalePreset] = None,
+        simulator: Optional[Simulator] = None,
+        benchmarks: Optional[Sequence[str]] = None,
+        refresh: bool = False,
+        workers: int = 1,
+    ):
+        self.scale = scale or get_scale()
+        self.simulator = simulator or Simulator()
+        self.benchmarks = tuple(benchmarks or BENCHMARK_NAMES)
+        self.sampling_space: DesignSpace = sampling_space()
+        self.exploration_space: DesignSpace = exploration_space()
+        self.workers = workers
+        self._refresh = refresh
+        self._campaign: Optional[Campaign] = None
+        self._models: Optional[Dict[str, Dict[str, FittedModel]]] = None
+        self._encoder = DesignEncoder(self.exploration_space)
+        self._exploration_points: Optional[List[DesignPoint]] = None
+        self._stratified_points: Dict[str, List[DesignPoint]] = {}
+        self._prediction_tables: Dict[tuple, PredictionTable] = {}
+
+    # -- campaign & models -------------------------------------------------
+
+    @property
+    def campaign(self) -> Campaign:
+        if self._campaign is None:
+            self._campaign = cached_campaign(
+                simulator=self.simulator,
+                scale=self.scale,
+                space=self.sampling_space,
+                benchmarks=self.benchmarks,
+                refresh=self._refresh,
+                workers=self.workers,
+            )
+        return self._campaign
+
+    @property
+    def models(self) -> Dict[str, Dict[str, FittedModel]]:
+        if self._models is None:
+            self._models = fit_campaign_models(self.campaign)
+        return self._models
+
+    def model(self, benchmark: str, metric: str) -> FittedModel:
+        """Fitted model for one benchmark and metric ("bips" or "watts")."""
+        return self.models[benchmark][metric]
+
+    # -- point sets ----------------------------------------------------------
+
+    @property
+    def baseline(self) -> DesignPoint:
+        """Table 3 baseline snapped onto the exploration grid."""
+        return baseline_point(self.exploration_space)
+
+    def exploration_points(self) -> List[DesignPoint]:
+        """The exploration set: all points, or a UAR subsample at scale."""
+        if self._exploration_points is None:
+            limit = self.scale.exploration_limit
+            space = self.exploration_space
+            if limit is None or limit >= len(space):
+                self._exploration_points = list(space)
+            else:
+                self._exploration_points = sample_uar(
+                    space, limit, seed=self.scale.seed + 1
+                )
+        return self._exploration_points
+
+    def per_depth_points(self, parameter: str = "depth") -> List[DesignPoint]:
+        """Stratified exploration set: equal designs at every depth level."""
+        if parameter not in self._stratified_points:
+            space = self.exploration_space
+            levels = space.parameter(parameter).cardinality
+            per_level = min(
+                self.scale.per_depth_designs,
+                len(space) // levels,
+            )
+            self._stratified_points[parameter] = sample_stratified(
+                space, parameter, per_level, seed=self.scale.seed + 2
+            )
+        return self._stratified_points[parameter]
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict_points(
+        self, benchmark: str, points: Sequence[DesignPoint]
+    ) -> PredictionTable:
+        """Regression-predicted bips and watts for arbitrary points."""
+        points = list(points)
+        matrix = self._encoder.encode(points)
+        data = {
+            name: matrix[:, j]
+            for j, name in enumerate(self._encoder.feature_names)
+        }
+        return PredictionTable(
+            benchmark=benchmark,
+            points=points,
+            bips=self.model(benchmark, "bips").predict(data),
+            watts=self.model(benchmark, "watts").predict(data),
+            ref_instructions=get_profile(benchmark).ref_instructions,
+        )
+
+    def predict_exploration(self, benchmark: str) -> PredictionTable:
+        """Predictions over the exploration set (memoized per benchmark)."""
+        key = (benchmark, "exploration")
+        if key not in self._prediction_tables:
+            self._prediction_tables[key] = self.predict_points(
+                benchmark, self.exploration_points()
+            )
+        return self._prediction_tables[key]
+
+    def predict_per_depth(self, benchmark: str) -> PredictionTable:
+        """Predictions over the depth-stratified set (memoized)."""
+        key = (benchmark, "per-depth")
+        if key not in self._prediction_tables:
+            self._prediction_tables[key] = self.predict_points(
+                benchmark, self.per_depth_points()
+            )
+        return self._prediction_tables[key]
+
+    # -- simulation -----------------------------------------------------------
+
+    def simulate(self, benchmark: str, point: DesignPoint) -> SimulationResult:
+        """Ground-truth simulation of one design on one benchmark."""
+        trace = self.simulator.trace_for(
+            get_profile(benchmark), self.scale.trace_length, seed=self.scale.seed
+        )
+        return self.simulator.simulate_point(self.exploration_space, point, trace)

@@ -1,0 +1,294 @@
+"""Study 1: Pareto frontier analysis (Section 4).
+
+Characterize the design space exhaustively with the regression models,
+extract the pareto frontier in the power-delay plane (delay-minimizing
+designs per power level, built by delay discretization as in Section 4.2),
+identify bips^3/w optima (Table 2), and validate frontier predictions
+against simulation (Figures 3 and 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..designspace import DesignPoint
+from ..metrics import bips3_per_watt
+from ..regression.validation import ErrorSummary, boxplot_stats, prediction_errors
+from .common import PredictionTable, StudyContext
+
+
+@dataclass
+class ParetoFrontier:
+    """Frontier designs with their predicted delay and power."""
+
+    benchmark: str
+    indices: np.ndarray      # into the characterization table
+    points: List[DesignPoint]
+    delay: np.ndarray
+    power: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def pareto_indices(delay: np.ndarray, power: np.ndarray) -> np.ndarray:
+    """Indices of non-dominated points (minimize delay and power).
+
+    Sort by delay then sweep with a running power minimum: a design is on
+    the frontier iff no faster-or-equal design needs less-or-equal power.
+    """
+    delay = np.asarray(delay, dtype=float)
+    power = np.asarray(power, dtype=float)
+    if delay.shape != power.shape:
+        raise ValueError("delay and power must align")
+    order = np.lexsort((power, delay))  # by delay, ties by power
+    kept = []
+    best_power = np.inf
+    last_delay = None
+    for index in order:
+        if power[index] < best_power:
+            # Strictly better power than anything at least as fast.
+            if last_delay is not None and delay[index] == last_delay:
+                pass  # same delay, higher power was filtered by lexsort
+            kept.append(index)
+            best_power = power[index]
+            last_delay = delay[index]
+    return np.array(sorted(kept), dtype=int)
+
+
+def discretized_frontier(
+    delay: np.ndarray, power: np.ndarray, bins: int = 50
+) -> np.ndarray:
+    """The paper's construction: min-power design per delay bin, pruned.
+
+    The delay range is discretized into ``bins`` targets; within each bin
+    the power-minimizing design is selected, and dominated selections are
+    pruned afterwards.
+    """
+    delay = np.asarray(delay, dtype=float)
+    power = np.asarray(power, dtype=float)
+    if bins < 1:
+        raise ValueError(f"bins must be positive, got {bins}")
+    edges = np.linspace(delay.min(), delay.max(), bins + 1)
+    chosen = []
+    for b in range(bins):
+        low, high = edges[b], edges[b + 1]
+        if b == bins - 1:
+            mask = (delay >= low) & (delay <= high)
+        else:
+            mask = (delay >= low) & (delay < high)
+        candidates = np.flatnonzero(mask)
+        if candidates.size:
+            chosen.append(candidates[power[candidates].argmin()])
+    chosen = np.array(chosen, dtype=int)
+    keep = pareto_indices(delay[chosen], power[chosen])
+    return chosen[keep]
+
+
+def hypervolume_2d(
+    delay: np.ndarray,
+    power: np.ndarray,
+    reference: Tuple[float, float],
+) -> float:
+    """Dominated hypervolume of a 2-D (minimize, minimize) point set.
+
+    The area between the pareto front of the points and the ``reference``
+    point (which must be dominated by every point).  A standard scalar
+    quality measure for frontiers: larger = better frontier.  Used to
+    compare the regression-predicted frontier against the simulated one
+    with one number.
+    """
+    delay = np.asarray(delay, dtype=float)
+    power = np.asarray(power, dtype=float)
+    ref_delay, ref_power = reference
+    if (delay >= ref_delay).any() or (power >= ref_power).any():
+        raise ValueError(
+            "reference point must be strictly dominated by every point"
+        )
+    frontier_idx = pareto_indices(delay, power)
+    d = delay[frontier_idx]
+    p = power[frontier_idx]
+    order = np.argsort(d)
+    d, p = d[order], p[order]
+    volume = 0.0
+    previous_power = ref_power
+    for i in range(len(d)):
+        width = ref_delay - d[i]
+        height = previous_power - p[i]
+        volume += width * height
+        previous_power = p[i]
+    return float(volume)
+
+
+def characterize(ctx: StudyContext, benchmark: str) -> PredictionTable:
+    """Figure 2's data: predicted delay/power of the exploration set."""
+    return ctx.predict_exploration(benchmark)
+
+
+def frontier(
+    ctx: StudyContext, benchmark: str, bins: int = 50
+) -> ParetoFrontier:
+    """The regression-predicted pareto frontier for one benchmark."""
+    table = ctx.predict_exploration(benchmark)
+    delay = table.delay
+    power = table.watts
+    indices = discretized_frontier(delay, power, bins=bins)
+    return ParetoFrontier(
+        benchmark=benchmark,
+        indices=indices,
+        points=[table.points[i] for i in indices],
+        delay=delay[indices],
+        power=power[indices],
+    )
+
+
+@dataclass
+class EfficiencyOptimum:
+    """One row of Table 2: a benchmark's bips^3/w-maximizing design."""
+
+    benchmark: str
+    point: DesignPoint
+    predicted_bips: float
+    predicted_watts: float
+    predicted_delay: float
+    predicted_efficiency: float
+    simulated_bips: float = float("nan")
+    simulated_watts: float = float("nan")
+    simulated_delay: float = float("nan")
+
+    @property
+    def delay_error(self) -> float:
+        """Signed relative delay error, (sim - model) / model."""
+        return (self.simulated_delay - self.predicted_delay) / self.predicted_delay
+
+    @property
+    def power_error(self) -> float:
+        return (self.simulated_watts - self.predicted_watts) / self.predicted_watts
+
+
+def efficiency_optimum(
+    ctx: StudyContext, benchmark: str, validate: bool = True
+) -> EfficiencyOptimum:
+    """The benchmark's predicted bips^3/w-maximizing design (+ sim check)."""
+    table = ctx.predict_exploration(benchmark)
+    index = int(table.efficiency.argmax())
+    point = table.points[index]
+    row = EfficiencyOptimum(
+        benchmark=benchmark,
+        point=point,
+        predicted_bips=float(table.bips[index]),
+        predicted_watts=float(table.watts[index]),
+        predicted_delay=float(table.delay[index]),
+        predicted_efficiency=float(table.efficiency[index]),
+    )
+    if validate:
+        result = ctx.simulate(benchmark, point)
+        row.simulated_bips = result.bips
+        row.simulated_watts = float(result.watts)
+        row.simulated_delay = result.delay_seconds
+    return row
+
+
+def table2(ctx: StudyContext, validate: bool = True) -> List[EfficiencyOptimum]:
+    """Table 2: per-benchmark bips^3/w optima with validation errors."""
+    return [
+        efficiency_optimum(ctx, benchmark, validate=validate)
+        for benchmark in ctx.benchmarks
+    ]
+
+
+@dataclass
+class FrontierValidation:
+    """Figure 3/4 data for one benchmark: model vs simulation on the frontier."""
+
+    benchmark: str
+    points: List[DesignPoint]
+    model_delay: np.ndarray
+    model_power: np.ndarray
+    simulated_delay: np.ndarray
+    simulated_power: np.ndarray
+    delay_errors: ErrorSummary
+    power_errors: ErrorSummary
+
+    def hypervolume_ratio(self) -> float:
+        """Simulated-over-modeled frontier hypervolume (1.0 = same quality).
+
+        Both frontiers are scored against a shared reference point just
+        beyond the worst observed delay/power, so the ratio compares the
+        frontier *shapes* independent of the per-point error signs.
+        """
+        reference = (
+            1.1 * float(max(self.model_delay.max(), self.simulated_delay.max())),
+            1.1 * float(max(self.model_power.max(), self.simulated_power.max())),
+        )
+        modeled = hypervolume_2d(self.model_delay, self.model_power, reference)
+        simulated = hypervolume_2d(
+            self.simulated_delay, self.simulated_power, reference
+        )
+        return simulated / modeled
+
+
+def validate_frontier(
+    ctx: StudyContext, benchmark: str, count: int = None, bins: int = 50
+) -> FrontierValidation:
+    """Simulate designs along the predicted frontier and summarize errors.
+
+    ``count`` frontier designs are simulated, spread evenly along the
+    frontier (defaults to the scale preset's ``frontier_validations``).
+    """
+    front = frontier(ctx, benchmark, bins=bins)
+    count = count or ctx.scale.frontier_validations
+    count = min(count, len(front))
+    picks = np.unique(
+        np.linspace(0, len(front) - 1, count).round().astype(int)
+    )
+    points = [front.points[i] for i in picks]
+    model_delay = front.delay[picks]
+    model_power = front.power[picks]
+    results = [ctx.simulate(benchmark, point) for point in points]
+    simulated_delay = np.array([r.delay_seconds for r in results])
+    simulated_power = np.array([r.watts for r in results])
+
+    delay_errors = prediction_errors(simulated_delay, model_delay)
+    power_errors = prediction_errors(simulated_power, model_power)
+    return FrontierValidation(
+        benchmark=benchmark,
+        points=points,
+        model_delay=model_delay,
+        model_power=model_power,
+        simulated_delay=simulated_delay,
+        simulated_power=simulated_power,
+        delay_errors=ErrorSummary(
+            benchmark=benchmark,
+            metric="delay",
+            errors=delay_errors,
+            stats=boxplot_stats(delay_errors),
+        ),
+        power_errors=ErrorSummary(
+            benchmark=benchmark,
+            metric="watts",
+            errors=power_errors,
+            stats=boxplot_stats(power_errors),
+        ),
+    )
+
+
+def resource_trend(
+    ctx: StudyContext, benchmark: str, parameter: str
+) -> Dict[float, Dict[str, float]]:
+    """Figure 2's arrows: mean delay/power at each level of one parameter."""
+    table = ctx.predict_exploration(benchmark)
+    levels: Dict[float, Dict[str, float]] = {}
+    values = np.array([point[parameter] for point in table.points], dtype=float)
+    delay = table.delay
+    for level in sorted(set(values.tolist())):
+        mask = values == level
+        levels[level] = {
+            "mean_delay": float(delay[mask].mean()),
+            "mean_power": float(table.watts[mask].mean()),
+            "count": int(mask.sum()),
+        }
+    return levels

@@ -1,0 +1,196 @@
+"""Extension: regression-guided heuristic search.
+
+Section 7 contrasts the paper's approach with Eyerman et al.'s heuristic
+search (steepest descent / genetic search, ~1000 simulations *per
+optimization problem*) and Section 8 suggests applying the regression
+models *within* heuristics.  This module implements both heuristics over
+the regression-predicted objective, so a search costs model evaluations
+instead of simulations, and compares them against exhaustive prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..designspace import DesignPoint, DesignSpace
+from .common import StudyContext
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one heuristic search."""
+
+    best_point: DesignPoint
+    best_value: float
+    evaluations: int
+    trajectory: List[float]   # best-so-far after each evaluation batch
+
+
+def _neighbors(space: DesignSpace, point: DesignPoint) -> List[DesignPoint]:
+    """All designs one level away in exactly one parameter."""
+    neighbors = []
+    for parameter in space.parameters:
+        values = parameter.values
+        index = parameter.index_of(point[parameter.name])
+        for delta in (-1, 1):
+            j = index + delta
+            if 0 <= j < len(values):
+                neighbors.append(point.replace(**{parameter.name: values[j]}))
+    return neighbors
+
+
+def steepest_descent(
+    space: DesignSpace,
+    objective: Callable[[Sequence[DesignPoint]], np.ndarray],
+    start: DesignPoint,
+    max_steps: int = 100,
+) -> SearchResult:
+    """Greedy hill climbing on the (maximized) objective.
+
+    ``objective`` maps a batch of points to values; higher is better.
+    Stops at a local optimum or after ``max_steps``.
+    """
+    current = start
+    current_value = float(objective([start])[0])
+    evaluations = 1
+    trajectory = [current_value]
+    for _ in range(max_steps):
+        candidates = _neighbors(space, current)
+        values = objective(candidates)
+        evaluations += len(candidates)
+        best = int(np.argmax(values))
+        if values[best] <= current_value:
+            break
+        current = candidates[best]
+        current_value = float(values[best])
+        trajectory.append(current_value)
+    return SearchResult(
+        best_point=current,
+        best_value=current_value,
+        evaluations=evaluations,
+        trajectory=trajectory,
+    )
+
+
+def genetic_search(
+    space: DesignSpace,
+    objective: Callable[[Sequence[DesignPoint]], np.ndarray],
+    population: int = 24,
+    generations: int = 12,
+    mutation_rate: float = 0.15,
+    seed: Optional[int] = None,
+) -> SearchResult:
+    """A compact genetic algorithm over the discrete design grid.
+
+    Individuals are level-index vectors; uniform crossover and per-gene
+    mutation to an adjacent level; truncation selection of the top half.
+    """
+    if population < 4 or population % 2:
+        raise ValueError("population must be an even number >= 4")
+    rng = np.random.default_rng(seed)
+    parameters = space.parameters
+    cardinalities = [p.cardinality for p in parameters]
+
+    def decode(genome: np.ndarray) -> DesignPoint:
+        return space.point(
+            **{
+                p.name: p.values[int(g)]
+                for p, g in zip(parameters, genome)
+            }
+        )
+
+    genomes = np.array(
+        [[rng.integers(0, c) for c in cardinalities] for _ in range(population)]
+    )
+    evaluations = 0
+    best_point = None
+    best_value = -np.inf
+    trajectory: List[float] = []
+    for _ in range(generations):
+        points = [decode(g) for g in genomes]
+        values = np.asarray(objective(points), dtype=float)
+        evaluations += len(points)
+        top = int(values.argmax())
+        if values[top] > best_value:
+            best_value = float(values[top])
+            best_point = points[top]
+        trajectory.append(best_value)
+
+        order = np.argsort(values)[::-1]
+        parents = genomes[order[: population // 2]]
+        children = []
+        while len(children) < population // 2:
+            i, j = rng.integers(0, parents.shape[0], size=2)
+            mask = rng.random(len(cardinalities)) < 0.5
+            child = np.where(mask, parents[i], parents[j])
+            for gene, cardinality in enumerate(cardinalities):
+                if rng.random() < mutation_rate:
+                    step = rng.choice((-1, 1))
+                    child[gene] = int(np.clip(child[gene] + step, 0, cardinality - 1))
+            children.append(child)
+        genomes = np.vstack([parents, np.array(children)])
+
+    assert best_point is not None
+    return SearchResult(
+        best_point=best_point,
+        best_value=best_value,
+        evaluations=evaluations,
+        trajectory=trajectory,
+    )
+
+
+def efficiency_objective(
+    ctx: StudyContext, benchmark: str
+) -> Callable[[Sequence[DesignPoint]], np.ndarray]:
+    """bips^3/w predicted by the regression models, as a batch objective."""
+
+    def objective(points: Sequence[DesignPoint]) -> np.ndarray:
+        table = ctx.predict_points(benchmark, list(points))
+        return np.asarray(table.efficiency)
+
+    return objective
+
+
+@dataclass
+class SearchComparison:
+    """Heuristic-vs-exhaustive comparison for one benchmark."""
+
+    benchmark: str
+    exhaustive_value: float
+    exhaustive_evaluations: int
+    descent: SearchResult
+    genetic: SearchResult
+
+    @property
+    def descent_quality(self) -> float:
+        """Fraction of the exhaustive optimum the descent search found."""
+        return self.descent.best_value / self.exhaustive_value
+
+    @property
+    def genetic_quality(self) -> float:
+        return self.genetic.best_value / self.exhaustive_value
+
+
+def compare_search_strategies(
+    ctx: StudyContext, benchmark: str, seed: int = 0
+) -> SearchComparison:
+    """Run both heuristics against exhaustive prediction (X3 experiment)."""
+    objective = efficiency_objective(ctx, benchmark)
+    table = ctx.predict_exploration(benchmark)
+    exhaustive_value = float(table.efficiency.max())
+    descent = steepest_descent(
+        ctx.exploration_space, objective, start=ctx.baseline
+    )
+    genetic = genetic_search(
+        ctx.exploration_space, objective, seed=seed
+    )
+    return SearchComparison(
+        benchmark=benchmark,
+        exhaustive_value=exhaustive_value,
+        exhaustive_evaluations=len(table),
+        descent=descent,
+        genetic=genetic,
+    )

@@ -1,0 +1,88 @@
+"""Workload profiles, synthetic traces and the nine-benchmark suite."""
+
+from .generator import TraceGenerator, generate_trace
+from .profile import ProfileError, WorkloadProfile
+from .suite import (
+    BENCHMARK_NAMES,
+    REPRESENTATIVE,
+    SUITE,
+    get_profile,
+    suite_profiles,
+)
+from .characterize import (
+    WorkloadCharacter,
+    branch_predictability,
+    characterize,
+    dataflow_ilp,
+    footprint_growth,
+    instruction_miss_rate_curve,
+    miss_rate_curve,
+)
+from .extras import EXTRA_SUITE, get_extra_profile
+from .io import TRACE_FORMAT_VERSION, load_trace, save_trace
+from .sampling import (
+    SamplingValidation,
+    TraceSamplingError,
+    systematic_sample,
+    validate_sampling,
+)
+from .validation import Check, ConformanceReport, validate_trace
+from .trace import (
+    FPR_WRITERS,
+    GPR_WRITERS,
+    OP_BRANCH,
+    OP_CODES,
+    OP_FP,
+    OP_FP_DIV,
+    OP_INT,
+    OP_INT_MUL,
+    OP_LOAD,
+    OP_NAMES,
+    OP_STORE,
+    Trace,
+    TraceError,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "ProfileError",
+    "Trace",
+    "TraceError",
+    "TraceGenerator",
+    "generate_trace",
+    "SUITE",
+    "BENCHMARK_NAMES",
+    "REPRESENTATIVE",
+    "get_profile",
+    "suite_profiles",
+    "OP_INT",
+    "OP_INT_MUL",
+    "OP_FP",
+    "OP_FP_DIV",
+    "OP_LOAD",
+    "OP_STORE",
+    "OP_BRANCH",
+    "OP_NAMES",
+    "OP_CODES",
+    "GPR_WRITERS",
+    "FPR_WRITERS",
+    "validate_trace",
+    "ConformanceReport",
+    "Check",
+    "save_trace",
+    "load_trace",
+    "TRACE_FORMAT_VERSION",
+    "EXTRA_SUITE",
+    "get_extra_profile",
+    "characterize",
+    "WorkloadCharacter",
+    "dataflow_ilp",
+    "branch_predictability",
+    "miss_rate_curve",
+    "instruction_miss_rate_curve",
+    "footprint_growth",
+    "systematic_sample",
+    "validate_sampling",
+    "SamplingValidation",
+    "TraceSamplingError",
+]

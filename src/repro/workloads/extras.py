@@ -1,0 +1,132 @@
+"""Supplementary workload profiles beyond the paper's nine benchmarks.
+
+The paper notes its framework "may be generally applied to other
+workloads with similar accuracy" (Section 2.2).  These profiles model four
+additional SPEC2000-class programs with characters distinct from the main
+suite, for generality experiments and user reference:
+
+- **art** — FP neural-network simulation: tiny kernel, brutal data cache
+  behaviour (large array swept repeatedly, low spatial locality).
+- **swim** — FP stencil code: heavily streaming like applu but wider
+  arrays and near-perfect branches.
+- **vpr** — integer place & route: twolf-like but more pointer chasing.
+- **crafty** — chess search: branchy, deep recursion, working set that
+  fits in generous L1s, big-ish code.
+
+They are *not* part of :data:`repro.workloads.SUITE` (the paper's studies
+use exactly the paper's nine); access them via :data:`EXTRA_SUITE` or
+:func:`get_extra_profile`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .profile import WorkloadProfile
+
+ART = WorkloadProfile(
+    name="art",
+    description="SPEC2000 FP: neural net; small kernel, cache-hostile sweeps",
+    mix={"fp": 0.34, "fp_div": 0.01, "int": 0.20, "load": 0.30, "store": 0.06,
+         "branch": 0.09},
+    dep_distance_mean=9.0,
+    second_operand_rate=0.50,
+    load_chain_rate=0.05,
+    branch_bias=0.96,
+    unpredictable_rate=0.04,
+    static_branches=96,
+    data_reuse_strata=((0.42, 28), (0.06, 512), (0.04, 30000), (0.48, 300000)),
+    instr_reuse_strata=((0.99, 16), (0.01, 48)),
+    ifetch_run_mean=13.0,
+    data_footprint_blocks=3 * 1024 * 8,  # ~3MB swept repeatedly
+    data_zipf=0.10,
+    sequential_run_mean=10.0,
+    instr_footprint_blocks=40,
+    loop_length_mean=5.0,
+    loop_iterations_mean=120.0,
+    ref_instructions=1.8e9,
+)
+
+SWIM = WorkloadProfile(
+    name="swim",
+    description="SPEC2000 FP: shallow-water stencil; wide streaming arrays",
+    mix={"fp": 0.38, "fp_div": 0.02, "int": 0.16, "load": 0.28, "store": 0.10,
+         "branch": 0.06},
+    dep_distance_mean=13.0,
+    second_operand_rate=0.55,
+    load_chain_rate=0.01,
+    branch_bias=0.97,
+    unpredictable_rate=0.02,
+    static_branches=64,
+    data_reuse_strata=((0.58, 40), (0.04, 1024), (0.02, 40000), (0.36, 600000)),
+    instr_reuse_strata=((0.99, 12), (0.01, 40)),
+    ifetch_run_mean=15.0,
+    data_footprint_blocks=12 * 1024 * 8,  # ~12MB of arrays
+    data_zipf=0.10,
+    sequential_run_mean=30.0,
+    instr_footprint_blocks=36,
+    loop_length_mean=5.0,
+    loop_iterations_mean=150.0,
+    ref_instructions=2.4e9,
+)
+
+VPR = WorkloadProfile(
+    name="vpr",
+    description="SPEC2000 INT: FPGA place & route; pointer-heavy graph walks",
+    mix={"int": 0.42, "int_mul": 0.03, "load": 0.28, "store": 0.08,
+         "branch": 0.19},
+    dep_distance_mean=3.4,
+    second_operand_rate=0.45,
+    load_chain_rate=0.28,
+    branch_bias=0.90,
+    unpredictable_rate=0.22,
+    static_branches=768,
+    data_reuse_strata=((0.66, 48), (0.12, 900), (0.16, 10000), (0.06, 90000)),
+    instr_reuse_strata=((0.95, 48), (0.05, 200)),
+    ifetch_run_mean=9.0,
+    data_footprint_blocks=10240,  # ~1.25MB
+    data_zipf=0.95,
+    sequential_run_mean=2.0,
+    instr_footprint_blocks=220,
+    loop_length_mean=12.0,
+    loop_iterations_mean=25.0,
+    ref_instructions=1.7e9,
+)
+
+CRAFTY = WorkloadProfile(
+    name="crafty",
+    description="SPEC2000 INT: chess search; branchy, L1-resident data",
+    mix={"int": 0.52, "int_mul": 0.02, "load": 0.21, "store": 0.07,
+         "branch": 0.18},
+    dep_distance_mean=3.8,
+    second_operand_rate=0.50,
+    load_chain_rate=0.08,
+    branch_bias=0.91,
+    unpredictable_rate=0.16,
+    static_branches=1536,
+    data_reuse_strata=((0.90, 56), (0.08, 500), (0.02, 2000)),
+    instr_reuse_strata=((0.85, 80), (0.12, 500), (0.03, 1400)),
+    ifetch_run_mean=8.0,
+    data_footprint_blocks=2048,  # ~256KB
+    data_zipf=1.20,
+    sequential_run_mean=4.0,
+    instr_footprint_blocks=700,
+    loop_length_mean=14.0,
+    loop_iterations_mean=10.0,
+    ref_instructions=1.9e9,
+)
+
+#: The supplementary suite, keyed by name.
+EXTRA_SUITE: Dict[str, WorkloadProfile] = {
+    profile.name: profile for profile in (ART, SWIM, VPR, CRAFTY)
+}
+
+
+def get_extra_profile(name: str) -> WorkloadProfile:
+    """Supplementary profile by name."""
+    try:
+        return EXTRA_SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown extra benchmark {name!r}; available: {sorted(EXTRA_SUITE)}"
+        ) from None

@@ -1,0 +1,73 @@
+"""Trace persistence.
+
+Traces are deterministic functions of (profile, length, seed), so
+persistence is a convenience rather than a necessity — but sharing exact
+trace files is how the paper's community exchanged workloads, and saved
+traces decouple downstream analyses from generator evolution.
+
+Format: compressed ``.npz`` holding the column arrays plus a JSON-encoded
+header (name, ref_instructions, metadata, format version).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .trace import Trace, TraceError
+
+#: Bump when the on-disk layout changes.
+TRACE_FORMAT_VERSION = 1
+
+_COLUMNS = (
+    "op",
+    "src1",
+    "src2",
+    "mem_block",
+    "data_reuse",
+    "iblock",
+    "instr_reuse",
+    "taken",
+    "branch_site",
+)
+
+
+def save_trace(trace: Trace, path) -> Path:
+    """Write ``trace`` to ``path`` (``.npz``); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = json.dumps(
+        {
+            "version": TRACE_FORMAT_VERSION,
+            "name": trace.name,
+            "ref_instructions": trace.ref_instructions,
+            "metadata": trace.metadata,
+        }
+    )
+    arrays = {column: getattr(trace, column) for column in _COLUMNS}
+    np.savez_compressed(path, header=np.array(header), **arrays)
+    return path
+
+
+def load_trace(path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(str(archive["header"]))
+            arrays = {column: archive[column] for column in _COLUMNS}
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as error:
+        raise TraceError(f"unreadable trace file {path}: {error}") from error
+    if header.get("version") != TRACE_FORMAT_VERSION:
+        raise TraceError(
+            f"trace file {path} has format version {header.get('version')}, "
+            f"expected {TRACE_FORMAT_VERSION}"
+        )
+    return Trace(
+        name=header["name"],
+        ref_instructions=header["ref_instructions"],
+        metadata=header.get("metadata", {}),
+        **arrays,
+    )

@@ -1,0 +1,138 @@
+"""Trace sampling (the SMARTS/SimPoint axis of the paper's argument).
+
+Section 1 positions the paper against trace sampling [20, 24]: sampling
+shrinks *each simulation's input* while regression shrinks *the number of
+simulations* — complementary reductions.  This module implements the
+trace-sampling side so the claim can be exercised: systematic segment
+sampling of a long trace into a short representative one, with a
+validation helper comparing sampled-trace against full-trace simulation.
+
+Dependence distances that would reach across a segment boundary are
+clipped to the segment (the sampled segments are independent snippets, as
+in SMARTS's measurement intervals); reuse distances, branch outcomes and
+block ids carry over unchanged, so cache and predictor behaviour remain
+representative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .trace import Trace, TraceError
+
+
+class TraceSamplingError(ValueError):
+    """Raised for infeasible sampling requests."""
+
+
+def systematic_sample(
+    trace: Trace,
+    segments: int,
+    segment_length: int,
+    offset: int = 0,
+) -> Trace:
+    """SMARTS-style systematic sampling: every k-th segment of the trace.
+
+    ``segments`` segments of ``segment_length`` instructions are taken at
+    equal strides starting at ``offset``; the concatenation is returned as
+    a new (shorter) trace.  Requires the requested sample to fit in the
+    trace.
+    """
+    if segments < 1 or segment_length < 1:
+        raise TraceSamplingError("segments and segment_length must be >= 1")
+    n = len(trace)
+    total = segments * segment_length
+    if total > n:
+        raise TraceSamplingError(
+            f"sample of {total} instructions exceeds trace length {n}"
+        )
+    if not 0 <= offset < n:
+        raise TraceSamplingError(f"offset {offset} out of range")
+    stride = max((n - offset) // segments, segment_length)
+
+    starts = [offset + i * stride for i in range(segments)]
+    if starts[-1] + segment_length > n:
+        raise TraceSamplingError(
+            "segments do not fit: reduce segments, length, or offset"
+        )
+
+    pieces: Dict[str, list] = {
+        column: []
+        for column in (
+            "op", "src1", "src2", "mem_block", "data_reuse",
+            "iblock", "instr_reuse", "taken", "branch_site",
+        )
+    }
+    for start in starts:
+        stop = start + segment_length
+        local = np.arange(segment_length, dtype=np.int64)
+        for column in pieces:
+            pieces[column].append(getattr(trace, column)[start:stop])
+        # clip dependences to the segment: a producer before the segment
+        # start is treated as long-ready (distance 0 = no register source)
+        for source in ("src1", "src2"):
+            clipped = pieces[source][-1].copy()
+            out_of_segment = clipped > local
+            clipped[out_of_segment] = 0
+            pieces[source][-1] = clipped
+
+    columns = {name: np.concatenate(chunks) for name, chunks in pieces.items()}
+    return Trace(
+        name=trace.name,
+        ref_instructions=trace.ref_instructions,
+        metadata={
+            **trace.metadata,
+            "sampled_from": float(n),
+            "segments": float(segments),
+            "segment_length": float(segment_length),
+        },
+        **columns,
+    )
+
+
+@dataclass
+class SamplingValidation:
+    """Sampled-versus-full simulation comparison for one benchmark."""
+
+    benchmark: str
+    full_bips: float
+    sampled_bips: float
+    full_watts: float
+    sampled_watts: float
+    reduction: float  #: full length / sampled length
+
+    @property
+    def bips_error(self) -> float:
+        """Relative bips error of the sampled trace."""
+        return abs(self.sampled_bips - self.full_bips) / self.full_bips
+
+    @property
+    def watts_error(self) -> float:
+        return abs(self.sampled_watts - self.full_watts) / self.full_watts
+
+
+def validate_sampling(
+    trace: Trace,
+    config,
+    segments: int,
+    segment_length: int,
+    simulator=None,
+) -> SamplingValidation:
+    """Simulate full and sampled traces on one config; compare results."""
+    from ..simulator import Simulator
+
+    simulator = simulator or Simulator()
+    sampled = systematic_sample(trace, segments, segment_length)
+    full_result = simulator.simulate(trace, config)
+    sampled_result = simulator.simulate(sampled, config)
+    return SamplingValidation(
+        benchmark=trace.name,
+        full_bips=full_result.bips,
+        sampled_bips=sampled_result.bips,
+        full_watts=float(full_result.watts),
+        sampled_watts=float(sampled_result.watts),
+        reduction=len(trace) / len(sampled),
+    )

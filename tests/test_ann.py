@@ -1,0 +1,135 @@
+"""Tests for the ANN baseline (Ipek et al. comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ANNConfig, ANNError, fit_ann
+from repro.baselines.ann import _sigmoid
+from repro.regression import SqrtTransform, prediction_errors
+
+
+def make_data(n=400, noise=0.02, seed=0):
+    rng = np.random.default_rng(seed)
+    x1 = rng.uniform(0, 1, n)
+    x2 = rng.uniform(0, 1, n)
+    y = 1.0 + 2.0 * x1 - x2 + 1.5 * x1 * x2 + noise * rng.standard_normal(n)
+    return {"x1": x1, "x2": x2, "y": y}
+
+
+FAST = ANNConfig(hidden_units=8, epochs=1500, learning_rate=0.3, seed=1)
+
+
+class TestTraining:
+    def test_learns_smooth_function(self):
+        data = make_data()
+        model = fit_ann(data, "y", ("x1", "x2"), config=FAST)
+        errors = np.abs(model.predict(data) - data["y"])
+        assert np.median(errors) < 0.1
+
+    def test_loss_decreases(self):
+        model = fit_ann(make_data(), "y", ("x1", "x2"), config=FAST)
+        history = model.loss_history
+        assert history[-1] < history[0] / 5
+
+    def test_deterministic_with_seed(self):
+        data = make_data()
+        a = fit_ann(data, "y", ("x1", "x2"), config=FAST)
+        b = fit_ann(data, "y", ("x1", "x2"), config=FAST)
+        assert np.allclose(a.predict(data), b.predict(data))
+
+    def test_early_stopping_records_epoch(self):
+        config = ANNConfig(hidden_units=4, epochs=5000, patience=50, seed=2)
+        model = fit_ann(make_data(), "y", ("x1", "x2"), config=config)
+        assert model.train_epochs <= 5000
+
+    def test_transform_round_trip(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 1, 300)
+        y = (1.0 + x) ** 2
+        model = fit_ann(
+            {"x": x, "y": y}, "y", ("x",),
+            transform=SqrtTransform(), config=FAST,
+        )
+        predictions = model.predict({"x": np.array([0.5])})
+        assert predictions[0] == pytest.approx(2.25, rel=0.1)
+
+    def test_nonlinearity_capture(self):
+        # an XOR-ish target a linear model cannot represent
+        rng = np.random.default_rng(4)
+        x1 = rng.integers(0, 2, 600).astype(float)
+        x2 = rng.integers(0, 2, 600).astype(float)
+        y = np.logical_xor(x1 > 0.5, x2 > 0.5).astype(float) + 1.0
+        config = ANNConfig(hidden_units=8, epochs=4000, learning_rate=0.5, seed=5)
+        model = fit_ann({"x1": x1, "x2": x2, "y": y}, "y", ("x1", "x2"), config=config)
+        errors = prediction_errors(y, model.predict({"x1": x1, "x2": x2}))
+        assert np.median(errors) < 0.1
+
+
+class TestGradients:
+    def test_backprop_matches_finite_differences(self):
+        """One analytic gradient step equals the numeric gradient."""
+        rng = np.random.default_rng(6)
+        X = rng.uniform(0, 1, (20, 3))
+        t = rng.uniform(-1, 1, 20)
+        w_hidden = rng.normal(0, 0.5, (3, 4))
+        b_hidden = rng.normal(0, 0.1, 4)
+        w_out = rng.normal(0, 0.5, 4)
+        b_out = 0.1
+
+        def loss(wh):
+            hidden = _sigmoid(X @ wh + b_hidden)
+            error = hidden @ w_out + b_out - t
+            return float(error @ error) / len(t)
+
+        hidden = _sigmoid(X @ w_hidden + b_hidden)
+        grad_out = 2.0 * (hidden @ w_out + b_out - t) / len(t)
+        delta = np.outer(grad_out, w_out) * hidden * (1 - hidden)
+        analytic = X.T @ delta
+
+        eps = 1e-6
+        for i in (0, 2):
+            for j in (0, 3):
+                bumped = w_hidden.copy()
+                bumped[i, j] += eps
+                numeric = (loss(bumped) - loss(w_hidden)) / eps
+                assert analytic[i, j] == pytest.approx(numeric, rel=1e-3, abs=1e-8)
+
+
+class TestValidationAndErrors:
+    def test_missing_response(self):
+        with pytest.raises(ANNError):
+            fit_ann({"x": np.zeros(20)}, "y", ("x",))
+
+    def test_missing_predictor_at_predict_time(self):
+        model = fit_ann(make_data(), "y", ("x1", "x2"), config=FAST)
+        with pytest.raises(ANNError):
+            model.predict({"x1": np.zeros(3)})
+
+    def test_too_few_observations(self):
+        with pytest.raises(ANNError):
+            fit_ann({"x": np.zeros(5), "y": np.zeros(5)}, "y", ("x",))
+
+    def test_no_predictors(self):
+        with pytest.raises(ANNError):
+            fit_ann(make_data(), "y", ())
+
+    def test_bad_config(self):
+        with pytest.raises(ANNError):
+            ANNConfig(hidden_units=0)
+        with pytest.raises(ANNError):
+            ANNConfig(momentum=1.5)
+
+
+class TestOnSimulatorData:
+    def test_ann_competitive_with_regression(self, ctx):
+        """The Ipek et al. comparison: both methods should predict well."""
+        from repro.regression import PREDICTORS
+
+        train = ctx.campaign.dataset("gzip", "train").columns()
+        validation = ctx.campaign.dataset("gzip", "validation").columns()
+        config = ANNConfig(hidden_units=12, epochs=2500, learning_rate=0.2, seed=7)
+        model = fit_ann(
+            train, "bips", PREDICTORS, transform=SqrtTransform(), config=config
+        )
+        errors = prediction_errors(validation["bips"], model.predict(validation))
+        assert np.median(errors) < 0.25

@@ -1,0 +1,128 @@
+"""Tests for campaign persistence and caching."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    ArtifactError,
+    cached_campaign,
+    get_scale,
+    load_campaign,
+    run_campaign,
+    save_campaign,
+)
+from repro.harness.artifacts import CACHE_VERSION, _campaign_key, cache_dir
+from repro.designspace import sampling_space
+from repro.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return get_scale("ci").with_overrides(
+        name="artifact-test", trace_length=600, n_train=12, n_validation=4
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign(tiny_scale):
+    return run_campaign(Simulator(), scale=tiny_scale, benchmarks=["gzip"])
+
+
+class TestRoundTrip:
+    def test_save_load_equality(self, campaign, tiny_scale, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path)
+        loaded = load_campaign(path, campaign.space, tiny_scale)
+        assert loaded.train_points == campaign.train_points
+        assert loaded.validation_points == campaign.validation_points
+        for split in ("train", "validation"):
+            original = getattr(campaign, split)["gzip"].metrics
+            restored = getattr(loaded, split)["gzip"].metrics
+            assert np.allclose(original["bips"], restored["bips"])
+            assert np.allclose(original["watts"], restored["watts"])
+
+    def test_load_rejects_corrupt_file(self, campaign, tiny_scale, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        with pytest.raises(ArtifactError):
+            load_campaign(path, campaign.space, tiny_scale)
+
+    def test_load_rejects_version_mismatch(self, campaign, tiny_scale, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = CACHE_VERSION - 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="version"):
+            load_campaign(path, campaign.space, tiny_scale)
+
+    def test_load_missing_file(self, campaign, tiny_scale, tmp_path):
+        with pytest.raises(ArtifactError):
+            load_campaign(tmp_path / "absent.json", campaign.space, tiny_scale)
+
+
+class TestKeying:
+    def test_key_stable(self, tiny_scale):
+        space = sampling_space()
+        a = _campaign_key(tiny_scale, space, ("gzip",), "stack")
+        b = _campaign_key(tiny_scale, space, ("gzip",), "stack")
+        assert a == b
+
+    def test_key_changes_with_scale(self, tiny_scale):
+        space = sampling_space()
+        other = tiny_scale.with_overrides(n_train=13)
+        assert _campaign_key(tiny_scale, space, ("gzip",), "stack") != _campaign_key(
+            other, space, ("gzip",), "stack"
+        )
+
+    def test_key_changes_with_benchmarks(self, tiny_scale):
+        space = sampling_space()
+        assert _campaign_key(tiny_scale, space, ("gzip",), "stack") != _campaign_key(
+            tiny_scale, space, ("gzip", "mcf"), "stack"
+        )
+
+    def test_key_changes_with_memory_mode(self, tiny_scale):
+        space = sampling_space()
+        assert _campaign_key(tiny_scale, space, ("gzip",), "stack") != _campaign_key(
+            tiny_scale, space, ("gzip",), "functional"
+        )
+
+
+class TestCachedCampaign:
+    def test_second_call_skips_simulation(self, tiny_scale):
+        scale = tiny_scale.with_overrides(name="cache-test", n_train=10)
+
+        first = cached_campaign(Simulator(), scale=scale, benchmarks=["gzip"])
+        # a simulator that would explode if actually used
+        class ExplodingSimulator(Simulator):
+            def simulate(self, *args, **kwargs):
+                raise AssertionError("cache miss: simulation re-ran")
+
+        second = cached_campaign(
+            ExplodingSimulator(), scale=scale, benchmarks=["gzip"]
+        )
+        assert second.train_points == first.train_points
+
+    def test_refresh_forces_rerun(self, tiny_scale):
+        scale = tiny_scale.with_overrides(name="refresh-test", n_train=8)
+        cached_campaign(Simulator(), scale=scale, benchmarks=["gzip"])
+        fresh = cached_campaign(
+            Simulator(), scale=scale, benchmarks=["gzip"], refresh=True
+        )
+        assert len(fresh.train_points) == 8
+
+    def test_cache_file_created(self, tiny_scale):
+        scale = tiny_scale.with_overrides(name="file-test", n_train=6)
+        cached_campaign(Simulator(), scale=scale, benchmarks=["gzip"])
+        files = list(cache_dir().glob("campaign-file-test-*.json"))
+        assert files
+
+    def test_corrupt_cache_regenerates(self, tiny_scale):
+        scale = tiny_scale.with_overrides(name="corrupt-test", n_train=6)
+        cached_campaign(Simulator(), scale=scale, benchmarks=["gzip"])
+        for path in cache_dir().glob("campaign-corrupt-test-*.json"):
+            path.write_text("garbage")
+        campaign = cached_campaign(Simulator(), scale=scale, benchmarks=["gzip"])
+        assert len(campaign.train_points) == 6

@@ -1,0 +1,108 @@
+"""Tests for branch predictors."""
+
+import pytest
+
+from repro.simulator import (
+    BimodalPredictor,
+    GSharePredictor,
+    OneBitBHT,
+    PredictorConfigError,
+    build_predictor,
+)
+
+
+class TestOneBitBHT:
+    def test_learns_constant_branch(self):
+        predictor = OneBitBHT(entries=16)
+        outcomes = [predictor.predict_and_update(3, True) for _ in range(10)]
+        assert all(outcomes)  # initialized taken, stays correct
+
+    def test_learns_after_one_flip(self):
+        predictor = OneBitBHT(entries=16)
+        assert predictor.predict_and_update(3, False) is False  # mispredict
+        assert predictor.predict_and_update(3, False) is True
+
+    def test_alternating_pattern_always_wrong(self):
+        predictor = OneBitBHT(entries=16)
+        predictor.predict_and_update(3, False)  # table now False
+        results = [
+            predictor.predict_and_update(3, i % 2 == 0) for i in range(10)
+        ]
+        assert not any(results)  # 1-bit thrashes on alternation
+
+    def test_site_aliasing_by_modulo(self):
+        predictor = OneBitBHT(entries=4)
+        predictor.predict_and_update(1, False)
+        # site 5 aliases onto entry 1
+        assert predictor.predict_and_update(5, False) is True
+
+    def test_stats(self):
+        predictor = OneBitBHT(entries=16)
+        predictor.predict_and_update(0, True)
+        predictor.predict_and_update(0, False)
+        assert predictor.stats.predictions == 2
+        assert predictor.stats.mispredictions == 1
+        assert predictor.stats.mispredict_rate == 0.5
+
+    def test_rejects_bad_entries(self):
+        with pytest.raises(PredictorConfigError):
+            OneBitBHT(entries=0)
+
+
+class TestBimodal:
+    def test_hysteresis_survives_single_flip(self):
+        predictor = BimodalPredictor(entries=16)
+        for _ in range(4):
+            predictor.predict_and_update(2, True)   # saturate to 3
+        predictor.predict_and_update(2, False)       # 3 -> 2, still taken
+        assert predictor.predict_and_update(2, True) is True
+
+    def test_counter_saturates(self):
+        predictor = BimodalPredictor(entries=16)
+        for _ in range(10):
+            predictor.predict_and_update(2, False)
+        assert predictor._table[2] == 0
+
+    def test_bimodal_beats_1bit_on_loop_pattern(self):
+        # TTTTTN repeated: bimodal mispredicts once per iteration, 1-bit twice
+        pattern = ([True] * 5 + [False]) * 40
+        bimodal = BimodalPredictor(entries=4)
+        one_bit = OneBitBHT(entries=4)
+        bimodal_miss = sum(not bimodal.predict_and_update(0, t) for t in pattern)
+        onebit_miss = sum(not one_bit.predict_and_update(0, t) for t in pattern)
+        assert bimodal_miss < onebit_miss
+
+
+class TestGShare:
+    def test_learns_history_dependent_pattern(self):
+        # strictly alternating outcomes are perfectly predictable from
+        # 1 bit of global history once trained
+        predictor = GSharePredictor(entries=256, history_bits=4)
+        pattern = [bool(i % 2) for i in range(400)]
+        misses = sum(not predictor.predict_and_update(7, t) for t in pattern)
+        assert misses < 30  # training transient only
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(PredictorConfigError):
+            GSharePredictor(history_bits=-1)
+
+    def test_history_register_bounded(self):
+        predictor = GSharePredictor(entries=64, history_bits=3)
+        for i in range(100):
+            predictor.predict_and_update(i % 5, bool(i % 3))
+        assert 0 <= predictor._history < 8
+
+
+class TestFactory:
+    def test_default_is_table3_bht(self):
+        predictor = build_predictor()
+        assert isinstance(predictor, OneBitBHT)
+        assert predictor.entries == 16 * 1024
+
+    def test_by_name(self):
+        assert isinstance(build_predictor("bimodal-2bit"), BimodalPredictor)
+        assert isinstance(build_predictor("gshare"), GSharePredictor)
+
+    def test_unknown_name(self):
+        with pytest.raises(PredictorConfigError, match="choices"):
+            build_predictor("tage")

@@ -1,0 +1,145 @@
+"""Tests for the functional set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator import Cache, CacheConfigError, CacheHierarchy, build_hierarchy
+from repro.simulator.caches import INSTRUCTION_SPACE_OFFSET
+
+
+class TestGeometry:
+    def test_sets_from_size_and_assoc(self):
+        cache = Cache("l1", size_kb=8, assoc=2)
+        assert cache.n_sets == 8 * 1024 // 128 // 2
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(CacheConfigError):
+            Cache("bad", size_kb=0, assoc=1)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(CacheConfigError):
+            Cache("bad", size_kb=8, assoc=0)
+
+    def test_rejects_assoc_larger_than_capacity(self):
+        with pytest.raises(CacheConfigError):
+            Cache("bad", size_kb=0.125, assoc=2)  # one block total
+
+
+class TestAccessSemantics:
+    def test_first_access_misses(self):
+        cache = Cache("l1", size_kb=8, assoc=2)
+        assert cache.access(0) is False
+
+    def test_second_access_hits(self):
+        cache = Cache("l1", size_kb=8, assoc=2)
+        cache.access(0)
+        assert cache.access(0) is True
+
+    def test_lru_eviction_order(self):
+        cache = Cache("tiny", size_kb=0.25, assoc=2)  # 2 blocks, 1 set
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)      # refresh 0: LRU order is now [1, 0]
+        cache.access(2)      # evicts 1
+        assert cache.probe(0)
+        assert not cache.probe(1)
+        assert cache.probe(2)
+
+    def test_conflict_misses_in_direct_mapped(self):
+        cache = Cache("dm", size_kb=0.25, assoc=1)  # 2 sets of 1 block
+        cache.access(0)
+        cache.access(2)      # same set (2 % 2 == 0), evicts 0
+        assert not cache.probe(0)
+
+    def test_stats_consistency(self):
+        cache = Cache("l1", size_kb=8, assoc=2)
+        for block in (0, 1, 0, 2, 0):
+            cache.access(block)
+        stats = cache.stats
+        assert stats.accesses == 5
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats.hits == 2
+
+    def test_miss_rate(self):
+        cache = Cache("l1", size_kb=8, assoc=2)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == 0.5
+
+    def test_miss_rate_empty(self):
+        assert Cache("l1", size_kb=8, assoc=2).stats.miss_rate == 0.0
+
+    def test_reset(self):
+        cache = Cache("l1", size_kb=8, assoc=2)
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.probe(0)
+
+    def test_probe_does_not_count_or_touch(self):
+        cache = Cache("tiny", size_kb=0.25, assoc=2)
+        cache.access(0)
+        cache.access(1)
+        cache.probe(0)       # must not refresh 0's LRU position
+        cache.access(2)      # evicts 0 (the true LRU block)
+        assert not cache.probe(0)
+        assert cache.stats.accesses == 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=300))
+    def test_occupancy_never_exceeds_capacity(self, blocks):
+        cache = Cache("l1", size_kb=1, assoc=2)
+        for block in blocks:
+            cache.access(block)
+        assert len(cache.contents()) <= 1024 // 128
+        for ways in cache._sets:
+            assert len(ways) <= cache.assoc
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
+    def test_bigger_cache_never_hits_less(self, blocks):
+        small = Cache("s", size_kb=0.5, assoc=2)
+        large = Cache("l", size_kb=4, assoc=4)
+        small_hits = sum(small.access(b) for b in blocks)
+        large_hits = sum(large.access(b) for b in blocks)
+        assert large_hits >= small_hits
+
+
+class TestHierarchy:
+    def test_build_hierarchy_baseline_assocs(self):
+        hierarchy = build_hierarchy(64, 32, 2.0)
+        assert hierarchy.il1.assoc == 1
+        assert hierarchy.dl1.assoc == 2
+        assert hierarchy.l2.assoc == 4
+
+    def test_data_miss_fills_l2(self):
+        hierarchy = build_hierarchy(16, 8, 0.25)
+        assert hierarchy.data_access(1) == "mem"
+        assert hierarchy.data_access(1) == "l1"
+        hierarchy.dl1.reset()
+        assert hierarchy.data_access(1) == "l2"
+
+    def test_instruction_blocks_do_not_alias_data_blocks(self):
+        hierarchy = build_hierarchy(16, 8, 0.25)
+        hierarchy.data_access(5)
+        assert hierarchy.instruction_access(5) == "mem"
+        assert hierarchy.l2.probe(5)
+        assert hierarchy.l2.probe(5 + INSTRUCTION_SPACE_OFFSET)
+
+    def test_memory_access_count(self):
+        hierarchy = build_hierarchy(16, 8, 0.25)
+        hierarchy.data_access(1)
+        hierarchy.data_access(2)
+        hierarchy.data_access(1)
+        assert hierarchy.stats().memory_accesses == 2
+
+    def test_reset_clears_everything(self):
+        hierarchy = build_hierarchy(16, 8, 0.25)
+        hierarchy.data_access(1)
+        hierarchy.instruction_access(1)
+        hierarchy.reset()
+        stats = hierarchy.stats()
+        assert stats.il1.accesses == 0
+        assert stats.dl1.accesses == 0
+        assert stats.l2.accesses == 0
+        assert stats.memory_accesses == 0

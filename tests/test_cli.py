@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+import repro.experiments as experiments
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "F9b" in out and "X3" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "375,000" in out
+        assert "262,500" in out
+
+    def test_unknown_experiment_id(self, capsys):
+        assert main(["run", "F99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_scale_choices_validated(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "T1", "--scale", "galactic"])
+
+
+class TestRun:
+    def test_run_t1_with_shared_context(self, ctx, capsys, monkeypatch):
+        # reuse the session context instead of building a 'ci' one
+        monkeypatch.setattr(experiments, "_CONTEXTS", {ctx.scale.name: ctx})
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        monkeypatch.setattr(
+            "repro.cli.get_scale", lambda name=None: ctx.scale
+        )
+        assert main(["run", "T1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "375,000" in out
+
+    def test_run_multiple_ids(self, ctx, capsys, monkeypatch):
+        monkeypatch.setattr(experiments, "_CONTEXTS", {ctx.scale.name: ctx})
+        monkeypatch.setattr(
+            "repro.cli.get_scale", lambda name=None: ctx.scale
+        )
+        assert main(["run", "T1", "T3"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "T3" in out

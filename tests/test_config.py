@@ -1,0 +1,131 @@
+"""Tests for machine configuration resolution."""
+
+import pytest
+
+from repro.designspace import exploration_space, extended_space
+from repro.simulator import (
+    ARCHITECTED_GPR,
+    ConfigError,
+    MachineConfig,
+    baseline_config,
+    baseline_point,
+    config_from_point,
+)
+from repro.workloads.trace import OP_FP, OP_FP_DIV, OP_INT
+
+
+class TestBaseline:
+    def test_table3_values(self):
+        config = baseline_config()
+        assert config.depth_fo4 == 19.0
+        assert config.width == 4
+        assert config.gpr_phys == 80
+        assert config.fpr_phys == 72
+        assert config.il1_kb == 64.0
+        assert config.dl1_kb == 32.0
+        assert config.l2_mb == 2.0
+
+    def test_dispatch_rate_is_9_per_table3(self):
+        assert baseline_config().dispatch_rate == 9
+
+    def test_l2_latency_near_9_cycles(self):
+        # Table 3: 9-cycle L2 at 19 FO4
+        assert baseline_config().l2_latency == pytest.approx(10, abs=1)
+
+    def test_memory_latency_near_77_cycles(self):
+        assert baseline_config().memory_latency == pytest.approx(79, abs=3)
+
+    def test_rename_registers(self):
+        config = baseline_config()
+        assert config.gpr_rename == 80 - ARCHITECTED_GPR
+        assert config.fpr_rename == 72 - 32
+
+
+class TestValidation:
+    def test_rejects_too_few_physical_registers(self):
+        with pytest.raises(ConfigError, match="rename"):
+            baseline_config().with_overrides(gpr_phys=ARCHITECTED_GPR)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            baseline_config().with_overrides(width=0)
+
+    def test_rejects_zero_queue(self):
+        with pytest.raises(ConfigError):
+            baseline_config().with_overrides(ls_queue=0)
+
+    def test_rejects_impossible_depth(self):
+        with pytest.raises(Exception):
+            baseline_config().with_overrides(depth_fo4=2.0)
+
+
+class TestLatencies:
+    def test_op_latency_scales_with_depth(self):
+        shallow = baseline_config().with_overrides(depth_fo4=30.0)
+        deep = baseline_config().with_overrides(depth_fo4=12.0)
+        assert deep.op_latency(OP_FP) > shallow.op_latency(OP_FP)
+
+    def test_int_is_single_cycle_at_12_fo4_or_deeper(self):
+        assert baseline_config().with_overrides(depth_fo4=12.0).op_latency(OP_INT) == 1
+
+    def test_divide_is_long(self):
+        config = baseline_config()
+        assert config.op_latency(OP_FP_DIV) >= 3 * config.op_latency(OP_FP)
+
+    def test_data_latency_ordering(self):
+        config = baseline_config()
+        assert (
+            config.data_latency("l1")
+            < config.data_latency("l2")
+            < config.data_latency("mem")
+        )
+
+    def test_data_latency_unknown_level(self):
+        with pytest.raises(ConfigError):
+            baseline_config().data_latency("l3")
+
+    def test_fetch_penalty_zero_on_hit(self):
+        assert baseline_config().fetch_penalty("l1") == 0
+
+    def test_fetch_penalty_ordering(self):
+        config = baseline_config()
+        assert 0 < config.fetch_penalty("l2") < config.fetch_penalty("mem")
+
+    def test_cache_latency_grows_with_size(self):
+        small = baseline_config().with_overrides(dl1_kb=8.0)
+        large = baseline_config().with_overrides(dl1_kb=128.0)
+        assert large.dl1_latency >= small.dl1_latency
+
+
+class TestFromPoint:
+    def test_resolves_derived_settings(self):
+        space = exploration_space()
+        point = space.point(
+            depth=12, width=8, gpr_phys=130, br_resv=15,
+            il1_kb=256, dl1_kb=128, l2_mb=4.0,
+        )
+        config = config_from_point(space, point)
+        assert config.functional_units == 4
+        assert config.ls_queue == 45
+        assert config.fpr_phys == 112
+        assert config.fx_resv == 28
+
+    def test_overrides_win(self):
+        space = exploration_space()
+        config = config_from_point(space, baseline_point(space), in_order=True)
+        assert config.in_order is True
+
+    def test_extended_space_parameters_honoured(self):
+        space = extended_space()
+        point = space.point(
+            depth=12, width=2, gpr_phys=40, br_resv=6,
+            il1_kb=16, dl1_kb=8, l2_mb=0.25, dl1_assoc=8, in_order=1,
+        )
+        config = config_from_point(space, point)
+        assert config.dl1_assoc == 8
+        assert config.in_order is True
+
+    def test_describe_keys(self):
+        summary = baseline_config().describe()
+        for key in ("depth_fo4", "width", "frequency_ghz", "l2_mb", "memory_latency"):
+            assert key in summary

@@ -1,0 +1,106 @@
+"""Smoke + content tests for the experiment registry."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+ALL_IDS = (
+    "T1", "F1", "F2", "F3", "F4", "T2", "T3", "F5a", "F5b",
+    "F6", "F7", "T4", "F8", "F9a", "F9b",
+    "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11", "X12",
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert tuple(EXPERIMENTS) == ALL_IDS
+
+    def test_unknown_id(self, ctx):
+        with pytest.raises(KeyError, match="choices"):
+            run_experiment("F99", ctx=ctx)
+
+    def test_runners_have_docstrings(self):
+        for runner in EXPERIMENTS.values():
+            assert runner.__doc__
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_every_experiment_runs(ctx, experiment_id):
+    result = run_experiment(experiment_id, ctx=ctx)
+    assert result.id == experiment_id
+    assert result.text.strip()
+    assert result.data is not None
+
+
+class TestContent:
+    def test_t1_reports_paper_size(self, ctx):
+        result = run_experiment("T1", ctx=ctx)
+        assert result.data["size"] == 375_000
+        assert "375,000" in result.text
+
+    def test_f1_medians_for_all_benchmarks(self, ctx):
+        result = run_experiment("F1", ctx=ctx)
+        medians = result.data["perf_medians"]
+        assert set(medians) == set(ctx.benchmarks) | {"overall"}
+        assert 0 < medians["overall"] < 40  # percent, loose at test scale
+
+    def test_t2_rows_per_benchmark(self, ctx):
+        result = run_experiment("T2", ctx=ctx)
+        assert len(result.data["rows"]) == len(ctx.benchmarks)
+
+    def test_f5a_line_and_boxplots(self, ctx):
+        result = run_experiment("F5a", ctx=ctx)
+        summary = result.data["summary"]
+        assert len(summary.depths) == 7
+        assert "12FO4" in result.text
+
+    def test_f9a_average_at_k0_is_one(self, ctx):
+        result = run_experiment("F9a", ctx=ctx)
+        sweep = result.data["sweep"]
+        assert sweep.average[0] == pytest.approx(1.0)
+
+    def test_x1_paper_model_beats_linear(self, ctx):
+        result = run_experiment("X1", ctx=ctx)
+        paper = result.data["paper (splines+interactions)"]
+        linear = result.data["linear only"]
+        assert paper["perf"] < linear["perf"]
+
+    def test_x2_reports_increasing_sample_sizes(self, ctx):
+        result = run_experiment("X2", ctx=ctx)
+        sizes = sorted(result.data)
+        assert len(sizes) >= 2
+        assert all(isinstance(s, int) for s in sizes)
+
+    def test_x4_bips3w_more_invariant_than_bipsw(self, ctx):
+        result = run_experiment("X4", ctx=ctx)
+        spreads = result.data["spreads"]
+        assert spreads["bips3_per_watt"] < spreads["bips_per_watt"]
+        assert 0.0 < result.data["static_share"] < 1.0
+
+    def test_x5_covers_three_samplers(self, ctx):
+        result = run_experiment("X5", ctx=ctx)
+        assert len(result.data) == 3
+        for medians in result.data.values():
+            assert all(0 < m < 50 for m in medians.values())
+
+    def test_x6_regression_faster_than_ann(self, ctx):
+        result = run_experiment("X6", ctx=ctx)
+        for row in result.data.values():
+            assert row["regression_fit_s"] < row["ann_fit_s"]
+
+    def test_x7_ooo_gain_above_one(self, ctx):
+        result = run_experiment("X7", ctx=ctx)
+        for row in result.data.values():
+            assert row["ooo_gain"] > 1.0
+            assert row["r_squared"] > 0.7
+
+    def test_x8_streaming_benchmarks_gain_most(self, ctx):
+        result = run_experiment("X8", ctx=ctx)
+        assert result.data["applu"]["speedup"] > result.data["gzip"]["speedup"]
+        for row in result.data.values():
+            assert row["speedup"] >= 1.0
+
+    def test_x9_depth_conclusion_stable(self, ctx):
+        result = run_experiment("X9", ctx=ctx)
+        assert result.data["depth"].within_one_level >= 0.5

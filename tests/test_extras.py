@@ -1,0 +1,93 @@
+"""Tests for the supplementary workload suite."""
+
+import pytest
+
+from repro.regression import fit_ols, performance_spec, power_spec
+from repro.simulator import Simulator, baseline_config
+from repro.workloads import (
+    EXTRA_SUITE,
+    SUITE,
+    generate_trace,
+    get_extra_profile,
+    validate_trace,
+)
+
+
+class TestExtraSuite:
+    def test_four_profiles(self):
+        assert set(EXTRA_SUITE) == {"art", "swim", "vpr", "crafty"}
+
+    def test_disjoint_from_main_suite(self):
+        assert not set(EXTRA_SUITE) & set(SUITE)
+
+    def test_get_extra_profile_unknown(self):
+        with pytest.raises(KeyError, match="art"):
+            get_extra_profile("doom")
+
+    @pytest.mark.parametrize("bench_name", sorted(EXTRA_SUITE))
+    def test_traces_conform_to_profiles(self, bench_name):
+        profile = get_extra_profile(bench_name)
+        trace = generate_trace(profile, 15000, seed=6)
+        report = validate_trace(trace, profile)
+        assert report.passed, "\n".join(str(c) for c in report.failures())
+
+    @pytest.mark.parametrize("bench_name", sorted(EXTRA_SUITE))
+    def test_simulate_on_baseline(self, bench_name):
+        trace = generate_trace(get_extra_profile(bench_name), 2000, seed=6)
+        result = Simulator().simulate(trace, baseline_config())
+        assert result.bips > 0
+        assert result.watts > 5
+
+
+class TestCharacters:
+    def simulate(self, name, **overrides):
+        trace = generate_trace(get_extra_profile(name), 3000, seed=6)
+        config = baseline_config().with_overrides(**overrides)
+        return Simulator().simulate(trace, config)
+
+    def test_swim_is_l2_insensitive(self):
+        small = self.simulate("swim", l2_mb=0.25)
+        large = self.simulate("swim", l2_mb=4.0)
+        assert large.bips / small.bips < 1.15  # streaming: L2 barely helps
+
+    def test_vpr_is_l2_sensitive(self):
+        small = self.simulate("vpr", l2_mb=0.25)
+        large = self.simulate("vpr", l2_mb=4.0)
+        assert large.bips / small.bips > 1.1
+
+    def test_crafty_is_cache_resident(self):
+        result = self.simulate("crafty")
+        assert result.counts.memory_accesses / result.instructions < 0.01
+
+    def test_art_is_memory_hungry(self):
+        result = self.simulate("art")
+        assert result.counts.memory_accesses / result.instructions > 0.05
+
+
+class TestModeling:
+    def test_regression_generalizes_to_extras(self, ctx):
+        """Section 2.2's claim: the framework applies to other workloads."""
+        import numpy as np
+
+        from repro.designspace import DesignEncoder, sample_uar
+        from repro.regression import prediction_errors
+
+        space = ctx.sampling_space
+        simulator = ctx.simulator
+        trace = simulator.trace_for(get_extra_profile("vpr"), 1500, seed=7)
+        points = sample_uar(space, 90, seed=7)
+        results = [simulator.simulate_point(space, p, trace) for p in points]
+        encoder = DesignEncoder(space)
+        matrix = encoder.encode(points)
+        data = {n: matrix[:, j] for j, n in enumerate(encoder.feature_names)}
+        data["bips"] = np.array([r.bips for r in results])
+        data["watts"] = np.array([r.watts for r in results])
+
+        train = {k: v[:-15] for k, v in data.items()}
+        test = {k: v[-15:] for k, v in data.items()}
+        perf = fit_ols(performance_spec(), train)
+        power = fit_ols(power_spec(), train)
+        perf_errors = prediction_errors(test["bips"], perf.predict(test))
+        power_errors = prediction_errors(test["watts"], power.predict(test))
+        assert np.median(perf_errors) < 0.15
+        assert np.median(power_errors) < 0.12

@@ -1,0 +1,111 @@
+"""Structured checks on the data each figure experiment returns.
+
+The smoke tests assert each experiment *runs*; these assert the returned
+data has the shape and internal consistency the paper's figures rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestF2Data:
+    def test_l2_trend_monotone_for_mcf(self, ctx):
+        result = run_experiment("F2", ctx=ctx)
+        trend = result.data["mcf"]["trend_l2"]
+        levels = sorted(trend)
+        delays = [trend[level]["mean_delay"] for level in levels]
+        assert delays == sorted(delays, reverse=True)  # bigger L2, less delay
+
+    def test_power_rises_with_l2_for_ammp(self, ctx):
+        result = run_experiment("F2", ctx=ctx)
+        trend = result.data["ammp"]["trend_l2"]
+        levels = sorted(trend)
+        powers = [trend[level]["mean_power"] for level in levels]
+        assert powers[-1] > powers[0]
+
+    def test_counts_cover_exploration_set(self, ctx):
+        result = run_experiment("F2", ctx=ctx)
+        trend = result.data["mcf"]["trend_l2"]
+        assert sum(stats["count"] for stats in trend.values()) == len(
+            ctx.exploration_points()
+        )
+
+
+class TestF3Data:
+    def test_frontier_points_positive(self, ctx):
+        result = run_experiment("F3", ctx=ctx)
+        for benchmark, validation in result.data.items():
+            assert (validation.model_delay > 0).all()
+            assert (validation.simulated_delay > 0).all()
+
+    def test_model_frontier_sorted(self, ctx):
+        result = run_experiment("F3", ctx=ctx)
+        for validation in result.data.values():
+            assert (np.diff(validation.model_delay) >= 0).all()
+            assert (np.diff(validation.model_power) <= 0).all()
+
+
+class TestF6F7Data:
+    def test_f6_relative_maxima(self, ctx):
+        # each benchmark's curve peaks at exactly 1.0 at its own optimal
+        # depth; the suite average of those curves therefore peaks at or
+        # below 1.0 (benchmarks disagree on the optimum)
+        result = run_experiment("F6", ctx=ctx)
+        validation = result.data["validation"]
+        for curve in (validation.predicted_original, validation.simulated_original):
+            assert 0.8 <= curve.max() <= 1.0 + 1e-9
+
+    def test_f7_power_falls_with_shallower_pipeline(self, ctx):
+        result = run_experiment("F7", ctx=ctx)
+        validation = result.data["validation"]
+        watts = validation.predicted_watts["original"]
+        assert watts[0] > watts[-1]  # 12 FO4 burns more than 30 FO4
+
+    def test_f7_simulated_tracks_predicted_power(self, ctx):
+        result = run_experiment("F7", ctx=ctx)
+        validation = result.data["validation"]
+        predicted = validation.predicted_watts["original"]
+        simulated = validation.simulated_watts["original"]
+        relative = np.abs(predicted - simulated) / simulated
+        assert np.median(relative) < 0.15
+
+
+class TestF8Data:
+    def test_assignment_consistent_with_compromises(self, ctx):
+        result = run_experiment("F8", ctx=ctx)
+        mapping = result.data["map"]
+        n_compromises = len(mapping.compromises)
+        for cluster_index in mapping.assignment.values():
+            assert 0 <= cluster_index < n_compromises
+
+
+class TestF9Data:
+    def test_f9b_simulated_not_wildly_above_predicted(self, ctx):
+        predicted = run_experiment("F9a", ctx=ctx).data["sweep"]
+        simulated = run_experiment("F9b", ctx=ctx).data["sweep"]
+        # the paper: models over-estimate heterogeneity benefits
+        assert simulated.average[-1] <= predicted.average[-1] * 1.3
+
+    def test_k9_runs_each_benchmark_on_own_core(self, ctx):
+        sweep = run_experiment("F9a", ctx=ctx).data["sweep"]
+        # at max K, gains equal each benchmark's optimum/baseline ratio,
+        # so none can be below a compromise's gain by much
+        for gains in sweep.per_benchmark.values():
+            assert gains[-1] >= max(gains) - 0.15
+
+
+class TestCliModule:
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "repro" in result.stdout

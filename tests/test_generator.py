@@ -1,0 +1,166 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    OP_BRANCH,
+    OP_LOAD,
+    OP_STORE,
+    TraceGenerator,
+    generate_trace,
+    get_profile,
+)
+from repro.workloads.generator import sample_reuse_distances
+from repro.workloads.trace import NO_DATA, NO_FETCH
+
+
+@pytest.fixture(scope="module")
+def ammp_trace():
+    return generate_trace(get_profile("ammp"), 6000, seed=11)
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        a = generate_trace(get_profile("gzip"), 2000, seed=4)
+        b = generate_trace(get_profile("gzip"), 2000, seed=4)
+        for column in ("op", "src1", "src2", "mem_block", "data_reuse",
+                       "iblock", "instr_reuse", "taken", "branch_site"):
+            assert (getattr(a, column) == getattr(b, column)).all(), column
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(get_profile("gzip"), 2000, seed=4)
+        b = generate_trace(get_profile("gzip"), 2000, seed=5)
+        assert not (a.op == b.op).all() or not (a.src1 == b.src1).all()
+
+    def test_different_benchmarks_differ_with_same_seed(self):
+        a = generate_trace(get_profile("gzip"), 2000, seed=4)
+        b = generate_trace(get_profile("mcf"), 2000, seed=4)
+        assert not (a.op == b.op).all()
+
+
+class TestStructure:
+    def test_length(self, ammp_trace):
+        assert len(ammp_trace) == 6000
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(ValueError):
+            generate_trace(get_profile("ammp"), 0)
+
+    def test_dependences_within_trace(self, ammp_trace):
+        positions = np.arange(len(ammp_trace))
+        assert (ammp_trace.src1 <= positions).all()
+        assert (ammp_trace.src2 <= positions).all()
+        assert (ammp_trace.src1 >= 0).all()
+
+    def test_memory_ops_have_reuse_and_blocks(self, ammp_trace):
+        is_mem = np.isin(ammp_trace.op, (OP_LOAD, OP_STORE))
+        assert (ammp_trace.data_reuse[is_mem] >= 1).all()
+        assert (ammp_trace.mem_block[is_mem] >= 0).all()
+        assert (ammp_trace.data_reuse[~is_mem] == NO_DATA).all()
+        assert (ammp_trace.mem_block[~is_mem] == -1).all()
+
+    def test_mix_approximates_profile(self):
+        profile = get_profile("gcc")
+        trace = generate_trace(profile, 20000, seed=2)
+        mix = trace.mix()
+        for op_class, fraction in profile.mix.items():
+            assert mix[op_class] == pytest.approx(fraction, abs=0.02)
+
+    def test_branches_have_sites(self, ammp_trace):
+        is_branch = ammp_trace.op == OP_BRANCH
+        assert (ammp_trace.branch_site[is_branch] >= 0).all()
+        assert (ammp_trace.branch_site[~is_branch] == -1).all()
+        profile = get_profile("ammp")
+        assert ammp_trace.branch_site.max() < profile.static_branches
+
+    def test_fetch_events_present_and_first_instruction_fetches(self, ammp_trace):
+        assert ammp_trace.instr_reuse[0] >= 0
+        events = ammp_trace.instr_reuse != NO_FETCH
+        # roughly every ifetch_run_mean instructions
+        expected = len(ammp_trace) / get_profile("ammp").ifetch_run_mean
+        assert events.sum() == pytest.approx(expected, rel=0.35)
+
+    def test_ref_instructions_propagated(self, ammp_trace):
+        assert ammp_trace.ref_instructions == get_profile("ammp").ref_instructions
+
+    def test_all_suite_traces_generate(self):
+        for name in BENCHMARK_NAMES:
+            trace = generate_trace(get_profile(name), 800, seed=1)
+            assert len(trace) == 800
+
+
+class TestBranchBehaviour:
+    def test_persistence_matches_bias(self):
+        profile = get_profile("mesa")  # low unpredictable fraction
+        trace = generate_trace(profile, 30000, seed=6)
+        mask = trace.branch_site >= 0
+        sites = trace.branch_site[mask].tolist()
+        takens = trace.taken[mask].tolist()
+        last = {}
+        repeats = total = 0
+        for site, taken in zip(sites, takens):
+            if site in last:
+                total += 1
+                repeats += last[site] == taken
+            last[site] = taken
+        expected = (
+            profile.unpredictable_rate * 0.5
+            + (1 - profile.unpredictable_rate) * profile.branch_bias
+        )
+        assert repeats / total == pytest.approx(expected, abs=0.05)
+
+    def test_pointer_chasing_serializes_loads(self):
+        mcf = generate_trace(get_profile("mcf"), 20000, seed=2)
+        loads = np.flatnonzero(mcf.op == OP_LOAD)
+        gaps = np.diff(loads)
+        chained = (mcf.src1[loads[1:]] == gaps).mean()
+        # at least the chain rate must match exactly (short geometric
+        # dependences can coincide with the previous load by chance, so the
+        # measured fraction overshoots the configured rate)
+        rate = get_profile("mcf").load_chain_rate
+        assert rate - 0.02 <= chained <= rate + 0.25
+
+    def test_low_chain_benchmark_has_fewer_load_chains(self):
+        mcf = generate_trace(get_profile("mcf"), 20000, seed=2)
+        mesa = generate_trace(get_profile("mesa"), 20000, seed=2)
+
+        def chain_fraction(trace):
+            loads = np.flatnonzero(trace.op == OP_LOAD)
+            gaps = np.diff(loads)
+            return (trace.src1[loads[1:]] == gaps).mean()
+
+        assert chain_fraction(mcf) > chain_fraction(mesa) + 0.2
+
+
+class TestReuseSampling:
+    STRATA = ((0.7, 8), (0.3, 512))
+
+    def test_distances_positive(self):
+        rng = np.random.default_rng(0)
+        distances = sample_reuse_distances(rng, self.STRATA, 5000)
+        assert (distances >= 1).all()
+
+    def test_distances_bounded_by_last_limit(self):
+        rng = np.random.default_rng(0)
+        distances = sample_reuse_distances(rng, self.STRATA, 5000)
+        assert distances.max() <= 512
+
+    def test_stratum_weights_respected(self):
+        rng = np.random.default_rng(0)
+        distances = sample_reuse_distances(rng, self.STRATA, 20000)
+        assert (distances <= 8).mean() == pytest.approx(0.7, abs=0.02)
+
+    def test_empty_draw(self):
+        rng = np.random.default_rng(0)
+        assert sample_reuse_distances(rng, self.STRATA, 0).size == 0
+
+    def test_empirical_survival_matches_analytic(self):
+        profile = get_profile("twolf")
+        trace = generate_trace(profile, 40000, seed=8)
+        reuse = trace.data_reuse[trace.data_reuse >= 0]
+        for capacity in (64, 512, 4096):
+            empirical = (reuse >= capacity).mean()
+            analytic = profile.data_miss_rate(capacity)
+            assert empirical == pytest.approx(analytic, abs=0.03)

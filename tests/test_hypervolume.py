@@ -1,0 +1,91 @@
+"""Tests for the 2-D hypervolume indicator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.studies import pareto
+from repro.studies.pareto import hypervolume_2d
+
+
+class TestHypervolume:
+    def test_single_point_rectangle(self):
+        volume = hypervolume_2d(
+            np.array([1.0]), np.array([2.0]), reference=(3.0, 5.0)
+        )
+        assert volume == pytest.approx((3 - 1) * (5 - 2))
+
+    def test_two_trade_off_points(self):
+        # (1,3) and (2,1) against reference (4,4):
+        # staircase area = (4-1)*(4-3) + (4-2)*(3-1) = 3 + 4 = 7
+        volume = hypervolume_2d(
+            np.array([1.0, 2.0]), np.array([3.0, 1.0]), reference=(4.0, 4.0)
+        )
+        assert volume == pytest.approx(7.0)
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume_2d(
+            np.array([1.0, 2.0]), np.array([3.0, 1.0]), reference=(4.0, 4.0)
+        )
+        with_dominated = hypervolume_2d(
+            np.array([1.0, 2.0, 2.5]), np.array([3.0, 1.0, 3.5]),
+            reference=(4.0, 4.0),
+        )
+        assert with_dominated == pytest.approx(base)
+
+    def test_rejects_reference_inside_set(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d(np.array([1.0]), np.array([2.0]), reference=(1.0, 5.0))
+
+    def test_better_frontier_has_larger_volume(self):
+        reference = (10.0, 10.0)
+        worse = hypervolume_2d(
+            np.array([3.0, 5.0]), np.array([5.0, 3.0]), reference
+        )
+        better = hypervolume_2d(
+            np.array([2.0, 4.0]), np.array([4.0, 2.0]), reference
+        )
+        assert better > worse
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 9.0), st.floats(0.1, 9.0)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_volume_positive_and_bounded(self, raw):
+        delay = np.array([p[0] for p in raw])
+        power = np.array([p[1] for p in raw])
+        reference = (10.0, 10.0)
+        volume = hypervolume_2d(delay, power, reference)
+        assert 0.0 < volume <= 10.0 * 10.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 9.0), st.floats(0.1, 9.0)),
+            min_size=1,
+            max_size=20,
+        ),
+        st.tuples(st.floats(0.1, 9.0), st.floats(0.1, 9.0)),
+    )
+    def test_adding_points_never_decreases_volume(self, raw, extra):
+        delay = np.array([p[0] for p in raw])
+        power = np.array([p[1] for p in raw])
+        reference = (10.0, 10.0)
+        base = hypervolume_2d(delay, power, reference)
+        grown = hypervolume_2d(
+            np.append(delay, extra[0]), np.append(power, extra[1]), reference
+        )
+        assert grown >= base - 1e-9
+
+
+class TestFrontierQuality:
+    def test_hypervolume_ratio_near_one(self, ctx):
+        """Figure 3's visual claim, as one number: the simulated frontier
+        covers nearly the same dominated volume as the predicted one."""
+        validation = pareto.validate_frontier(ctx, "ammp")
+        ratio = validation.hypervolume_ratio()
+        assert 0.7 < ratio < 1.4

@@ -1,0 +1,91 @@
+"""Tests for drop-one predictor importance."""
+
+import numpy as np
+import pytest
+
+from repro.regression import (
+    FitError,
+    InteractionTerm,
+    LinearTerm,
+    ModelSpec,
+    SplineTerm,
+    predictor_importance,
+)
+
+
+def make_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x_strong = rng.uniform(0, 10, n)
+    x_weak = rng.uniform(0, 10, n)
+    x_junk = rng.uniform(0, 10, n)
+    y = 5.0 * x_strong + 0.3 * x_weak + 0.4 * rng.standard_normal(n)
+    return {"strong": x_strong, "weak": x_weak, "junk": x_junk, "y": y}
+
+
+SPEC = ModelSpec(
+    "y",
+    (LinearTerm("strong"), LinearTerm("weak"), LinearTerm("junk")),
+)
+
+
+class TestImportance:
+    def test_ranking_matches_construction(self):
+        importance = predictor_importance(SPEC, make_data())
+        assert importance.ranked() == ["strong", "weak", "junk"]
+
+    def test_strong_dominates_shares(self):
+        importance = predictor_importance(SPEC, make_data())
+        shares = importance.shares()
+        assert shares["strong"] > 0.9
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_junk_near_zero(self):
+        importance = predictor_importance(SPEC, make_data())
+        assert importance.partial_r_squared["junk"] == pytest.approx(0.0, abs=0.01)
+
+    def test_interactions_charged_to_both_predictors(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(0, 4, 300)
+        b = rng.uniform(0, 4, 300)
+        data = {"a": a, "b": b, "y": a * b + 0.05 * rng.standard_normal(300)}
+        spec = ModelSpec(
+            "y", (LinearTerm("a"), LinearTerm("b"), InteractionTerm("a", "b"))
+        )
+        importance = predictor_importance(spec, data)
+        # dropping either predictor removes the interaction, costing R^2
+        assert importance.partial_r_squared["a"] > 0.1
+        assert importance.partial_r_squared["b"] > 0.1
+
+    def test_cannot_drop_only_predictor(self):
+        data = {"x": np.arange(50.0), "y": np.arange(50.0)}
+        spec = ModelSpec("y", (SplineTerm("x", knots=3),))
+        with pytest.raises(FitError):
+            predictor_importance(spec, data)
+
+    def test_degenerate_shares_uniform(self):
+        rng = np.random.default_rng(2)
+        data = {
+            "a": rng.uniform(0, 1, 100),
+            "b": rng.uniform(0, 1, 100),
+            "y": rng.standard_normal(100),  # pure noise
+        }
+        spec = ModelSpec("y", (LinearTerm("a"), LinearTerm("b")))
+        shares = predictor_importance(spec, data).shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestOnCampaignModels:
+    def test_mcf_performance_driven_by_l2(self, ctx):
+        from repro.regression import performance_spec
+
+        data = ctx.campaign.dataset("mcf", "train").columns()
+        importance = predictor_importance(performance_spec(), data)
+        assert importance.ranked()[0] == "l2_mb"
+
+    def test_power_driven_by_depth_and_width(self, ctx):
+        from repro.regression import power_spec
+
+        data = ctx.campaign.dataset("gzip", "train").columns()
+        importance = predictor_importance(power_spec(), data)
+        top_two = set(importance.ranked()[:2])
+        assert top_two == {"depth", "width"}

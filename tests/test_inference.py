@@ -1,0 +1,104 @@
+"""Tests for significance testing and confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.regression import (
+    FitError,
+    LinearTerm,
+    ModelSpec,
+    coefficient_tests,
+    confidence_intervals,
+    fit_ols,
+    nested_f_test,
+    overall_f_test,
+)
+
+
+def noisy_data(n=300, seed=0, signal=2.0, noise=1.0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 10, n)
+    junk = rng.uniform(0, 10, n)  # unrelated predictor
+    y = 1.0 + signal * x + noise * rng.standard_normal(n)
+    return {"x": x, "junk": junk, "y": y}
+
+
+@pytest.fixture(scope="module")
+def model():
+    return fit_ols(
+        ModelSpec("y", (LinearTerm("x"), LinearTerm("junk"))), noisy_data()
+    )
+
+
+class TestCoefficientTests:
+    def test_signal_is_significant(self, model):
+        rows = {row.name: row for row in coefficient_tests(model)}
+        assert rows["x"].significant()
+        assert rows["x"].p_value < 1e-10
+
+    def test_junk_is_not_significant(self, model):
+        rows = {row.name: row for row in coefficient_tests(model)}
+        assert not rows["junk"].significant(alpha=0.01)
+
+    def test_row_count(self, model):
+        assert len(coefficient_tests(model)) == 3  # intercept + 2
+
+    def test_t_statistic_sign_matches_estimate(self, model):
+        for row in coefficient_tests(model):
+            if row.std_error > 0 and row.estimate != 0:
+                assert np.sign(row.t_statistic) == np.sign(row.estimate)
+
+
+class TestFTests:
+    def test_overall_significant_with_signal(self, model):
+        result = overall_f_test(model)
+        assert result.significant()
+        assert result.df_numerator == 2
+
+    def test_overall_not_significant_on_pure_noise(self):
+        rng = np.random.default_rng(8)
+        data = {
+            "x": rng.uniform(0, 1, 200),
+            "y": rng.standard_normal(200),
+        }
+        result = overall_f_test(fit_ols(ModelSpec("y", (LinearTerm("x"),)), data))
+        assert result.p_value > 0.01
+
+    def test_nested_prefers_needed_predictor(self):
+        data = noisy_data()
+        full = fit_ols(ModelSpec("y", (LinearTerm("x"), LinearTerm("junk"))), data)
+        reduced = fit_ols(ModelSpec("y", (LinearTerm("junk"),)), data)
+        assert nested_f_test(full, reduced).significant()
+
+    def test_nested_rejects_useless_predictor(self):
+        data = noisy_data()
+        full = fit_ols(ModelSpec("y", (LinearTerm("x"), LinearTerm("junk"))), data)
+        reduced = fit_ols(ModelSpec("y", (LinearTerm("x"),)), data)
+        assert not nested_f_test(full, reduced).significant(alpha=0.01)
+
+    def test_nested_requires_more_parameters(self, model):
+        with pytest.raises(FitError):
+            nested_f_test(model, model)
+
+    def test_nested_requires_same_sample(self, model):
+        other = fit_ols(
+            ModelSpec("y", (LinearTerm("x"),)), noisy_data(n=100, seed=2)
+        )
+        with pytest.raises(FitError):
+            nested_f_test(model, other)
+
+
+class TestConfidenceIntervals:
+    def test_true_coefficient_inside_interval(self, model):
+        intervals = confidence_intervals(model, level=0.99)
+        low, high = intervals["x"]
+        assert low <= 2.0 <= high
+
+    def test_interval_widens_with_level(self, model):
+        narrow = confidence_intervals(model, level=0.5)["x"]
+        wide = confidence_intervals(model, level=0.99)["x"]
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_invalid_level(self, model):
+        with pytest.raises(FitError):
+            confidence_intervals(model, level=1.5)

@@ -1,0 +1,75 @@
+"""Tests for power-performance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    MetricError,
+    bips3_per_watt,
+    delay_seconds,
+    energy_delay_squared,
+    relative_efficiency,
+)
+
+
+class TestDelay:
+    def test_scalar(self):
+        assert delay_seconds(2.0, 4e9) == pytest.approx(2.0)
+
+    def test_array(self):
+        delays = delay_seconds(np.array([1.0, 2.0]), 2e9)
+        assert delays == pytest.approx([2.0, 1.0])
+
+    def test_rejects_zero_bips(self):
+        with pytest.raises(MetricError):
+            delay_seconds(0.0, 1e9)
+
+    def test_rejects_zero_ref(self):
+        with pytest.raises(MetricError):
+            delay_seconds(1.0, 0.0)
+
+
+class TestEfficiency:
+    def test_formula(self):
+        assert bips3_per_watt(2.0, 8.0) == pytest.approx(1.0)
+
+    def test_array(self):
+        values = bips3_per_watt(np.array([1.0, 2.0]), np.array([1.0, 1.0]))
+        assert values == pytest.approx([1.0, 8.0])
+
+    def test_rejects_zero_watts(self):
+        with pytest.raises(MetricError):
+            bips3_per_watt(1.0, 0.0)
+
+    def test_rejects_negative_bips(self):
+        with pytest.raises(MetricError):
+            bips3_per_watt(-1.0, 1.0)
+
+    def test_cubic_performance_sensitivity(self):
+        # 10% performance gain at equal power is ~33% efficiency gain
+        gain = bips3_per_watt(1.1, 10.0) / bips3_per_watt(1.0, 10.0)
+        assert gain == pytest.approx(1.331)
+
+
+class TestED2:
+    def test_inverse_relationship_with_bips3w(self):
+        # ED^2 = ref^3 / (bips^3/w) / 1e27; check proportionality
+        a = energy_delay_squared(1.0, 10.0, 1e9)
+        b = energy_delay_squared(2.0, 10.0, 1e9)
+        assert a / b == pytest.approx(8.0)
+
+    def test_energy_component(self):
+        value = energy_delay_squared(1.0, 10.0, 1e9)
+        assert value == pytest.approx(10.0)  # 10W x 1s x 1s^2
+
+
+class TestRelative:
+    def test_baseline_is_unity(self):
+        assert relative_efficiency(1.5, 20.0, 1.5, 20.0) == pytest.approx(1.0)
+
+    def test_better_design(self):
+        assert relative_efficiency(2.0, 20.0, 1.0, 20.0) == pytest.approx(8.0)
+
+    def test_array_numerator(self):
+        values = relative_efficiency(np.array([1.0, 2.0]), 10.0, 1.0, 10.0)
+        assert values == pytest.approx([1.0, 8.0])

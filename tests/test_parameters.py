@@ -1,0 +1,150 @@
+"""Unit tests for design parameters."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.designspace import Parameter, ParameterError, linear_range, pow2_range
+from repro.designspace.parameters import validate_unique_names
+
+
+class TestRanges:
+    def test_linear_range_paper_notation(self):
+        assert linear_range(9, 3, 36) == (9, 12, 15, 18, 21, 24, 27, 30, 33, 36)
+
+    def test_linear_range_single_value(self):
+        assert linear_range(5, 1, 5) == (5,)
+
+    def test_linear_range_float_step(self):
+        assert linear_range(0.5, 0.5, 2.0) == (0.5, 1.0, 1.5, 2.0)
+
+    def test_linear_range_rejects_negative_step(self):
+        with pytest.raises(ParameterError):
+            linear_range(1, -1, 5)
+
+    def test_linear_range_rejects_zero_step(self):
+        with pytest.raises(ParameterError):
+            linear_range(1, 0, 5)
+
+    def test_linear_range_rejects_backwards(self):
+        with pytest.raises(ParameterError):
+            linear_range(10, 1, 5)
+
+    def test_pow2_range_paper_notation(self):
+        assert pow2_range(16, 256) == (16, 32, 64, 128, 256)
+
+    def test_pow2_range_fractional_start(self):
+        assert pow2_range(0.25, 4) == (0.25, 0.5, 1.0, 2.0, 4.0)
+
+    def test_pow2_range_rejects_non_positive(self):
+        with pytest.raises(ParameterError):
+            pow2_range(0, 8)
+
+    def test_pow2_range_rejects_backwards(self):
+        with pytest.raises(ParameterError):
+            pow2_range(8, 4)
+
+    @given(st.integers(1, 100), st.integers(1, 10), st.integers(0, 50))
+    def test_linear_range_is_inclusive_arithmetic(self, start, step, count):
+        stop = start + step * count
+        values = linear_range(start, step, stop)
+        assert len(values) == count + 1
+        assert values[0] == start
+        assert values[-1] == stop
+
+
+class TestParameter:
+    def make(self, **overrides):
+        kwargs = dict(name="depth", values=(9, 12, 15), unit="FO4", group="S1")
+        kwargs.update(overrides)
+        return Parameter(**kwargs)
+
+    def test_cardinality(self):
+        assert self.make().cardinality == 3
+
+    def test_index_of_known_value(self):
+        assert self.make().index_of(12) == 1
+
+    def test_index_of_unknown_value_raises_with_levels(self):
+        with pytest.raises(ParameterError, match="levels"):
+            self.make().index_of(13)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ParameterError):
+            self.make(name="")
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ParameterError):
+            self.make(values=())
+
+    def test_rejects_duplicate_values(self):
+        with pytest.raises(ParameterError):
+            self.make(values=(9, 9, 12))
+
+    def test_rejects_unsorted_values(self):
+        with pytest.raises(ParameterError):
+            self.make(values=(12, 9, 15))
+
+    def test_rejects_mismatched_derived_length(self):
+        with pytest.raises(ParameterError, match="derived"):
+            self.make(derived={"other": (1, 2)})
+
+    def test_settings_at_includes_primary_and_derived(self):
+        parameter = self.make(derived={"fpr": (40, 48, 56)})
+        assert parameter.settings_at(12) == {"depth": 12, "fpr": 48}
+
+    def test_encode_identity_by_default(self):
+        assert self.make().encode(12) == 12.0
+
+    def test_encode_log2(self):
+        parameter = Parameter(name="w", values=(2, 4, 8), log2_encode=True)
+        assert parameter.encode(8) == pytest.approx(3.0)
+
+    def test_log2_rejects_non_positive_values(self):
+        with pytest.raises(ParameterError):
+            Parameter(name="bad", values=(0, 1), log2_encode=True)
+
+    def test_decode_round_trips_every_level(self):
+        parameter = Parameter(name="w", values=(2, 4, 8), log2_encode=True)
+        for value in parameter.values:
+            assert parameter.decode(parameter.encode(value)) == value
+
+    def test_decode_snaps_to_nearest(self):
+        parameter = self.make()
+        assert parameter.decode(10.4) == 9
+        assert parameter.decode(10.6) == 12
+
+    def test_nearest_on_raw_scale(self):
+        assert self.make().nearest(13.2) == 12
+
+    def test_span(self):
+        low, high = self.make().span()
+        assert (low, high) == (9.0, 15.0)
+
+    def test_span_log2(self):
+        parameter = Parameter(name="w", values=(2, 8), log2_encode=True)
+        assert parameter.span() == (1.0, 3.0)
+
+    @given(st.floats(-100, 100))
+    def test_nearest_always_returns_a_level(self, raw):
+        parameter = self.make()
+        assert parameter.nearest(raw) in parameter.values
+
+
+class TestUniqueNames:
+    def test_accepts_distinct(self):
+        a = Parameter(name="a", values=(1,))
+        b = Parameter(name="b", values=(1,))
+        validate_unique_names([a, b])  # no exception
+
+    def test_rejects_duplicate_primary(self):
+        a = Parameter(name="a", values=(1,))
+        with pytest.raises(ParameterError):
+            validate_unique_names([a, Parameter(name="a", values=(2,))])
+
+    def test_rejects_derived_collision(self):
+        a = Parameter(name="a", values=(1,), derived={"c": (10,)})
+        b = Parameter(name="b", values=(1,), derived={"c": (20,)})
+        with pytest.raises(ParameterError, match="c"):
+            validate_unique_names([a, b])

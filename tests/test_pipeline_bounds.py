@@ -1,0 +1,101 @@
+"""Cross-module properties: the timing model against analytical bounds.
+
+The pipeline's cycle count must respect hard lower bounds computable from
+first principles — retire bandwidth and the dataflow critical path — for
+*every* workload and configuration.  These tests tie the simulator to the
+characterization module's independent computation of the same quantities.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator import baseline_config, run_pipeline
+from repro.workloads import dataflow_ilp, generate_trace, get_profile
+from repro.workloads.suite import SUITE
+
+BENCH_NAMES = sorted(SUITE)
+
+
+def random_config(rng_seed: int):
+    """A valid random machine configuration (not confined to Table 1)."""
+    import numpy as np
+
+    rng = np.random.default_rng(rng_seed)
+    return baseline_config().with_overrides(
+        depth_fo4=float(rng.choice([12, 15, 18, 21, 24, 27, 30])),
+        width=int(rng.choice([2, 4, 8])),
+        functional_units=int(rng.choice([1, 2, 4])),
+        gpr_phys=int(rng.choice([40, 70, 100, 130])),
+        fpr_phys=int(rng.choice([40, 72, 112])),
+        ls_queue=int(rng.choice([15, 30, 45])),
+        store_queue=int(rng.choice([14, 28, 42])),
+        fx_resv=int(rng.choice([10, 20, 28])),
+        fp_resv=int(rng.choice([5, 10, 14])),
+        br_resv=int(rng.choice([6, 10, 15])),
+        il1_kb=float(rng.choice([16, 64, 256])),
+        dl1_kb=float(rng.choice([8, 32, 128])),
+        l2_mb=float(rng.choice([0.25, 1.0, 4.0])),
+    )
+
+
+class TestBandwidthBound:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.sampled_from(BENCH_NAMES))
+    def test_cycles_at_least_retire_bound(self, seed, bench_name):
+        trace = generate_trace(get_profile(bench_name), 1000, seed=seed % 7)
+        config = random_config(seed)
+        outcome = run_pipeline(trace, config)
+        assert outcome.cycles >= len(trace) / config.width
+
+    def test_ipc_below_width_for_all_benchmarks(self):
+        for bench_name in BENCH_NAMES:
+            trace = generate_trace(get_profile(bench_name), 1500, seed=1)
+            config = baseline_config().with_overrides(width=2, functional_units=1)
+            outcome = run_pipeline(trace, config)
+            assert len(trace) / outcome.cycles <= 2.0
+
+
+class TestDataflowBound:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.sampled_from(BENCH_NAMES))
+    def test_cycles_at_least_critical_path(self, seed, bench_name):
+        """The dependence chain is a hard floor: each dataflow level costs
+        at least one cycle regardless of machine resources."""
+        trace = generate_trace(get_profile(bench_name), 1000, seed=seed % 5)
+        config = random_config(seed)
+        outcome = run_pipeline(trace, config)
+        critical_path_length = len(trace) / dataflow_ilp(trace)
+        assert outcome.cycles >= critical_path_length
+
+    def test_high_ilp_trace_runs_faster_on_same_machine(self):
+        mesa = generate_trace(get_profile("mesa"), 2000, seed=3)
+        mcf = generate_trace(get_profile("mcf"), 2000, seed=3)
+        config = baseline_config()
+        mesa_ipc = len(mesa) / run_pipeline(mesa, config).cycles
+        mcf_ipc = len(mcf) / run_pipeline(mcf, config).cycles
+        assert mesa_ipc > mcf_ipc
+        assert dataflow_ilp(mesa) > dataflow_ilp(mcf)
+
+
+class TestConsistencyAcrossConfigs:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_counts_invariant_to_machine(self, seed):
+        """Event *counts* (instruction classes, branch outcomes, miss
+        classification under the same caches) depend on the trace, not the
+        core: two configs differing only in core resources must agree."""
+        trace = generate_trace(get_profile("gcc"), 800, seed=seed % 5)
+        small = baseline_config().with_overrides(
+            width=2, functional_units=1, gpr_phys=40, fpr_phys=40
+        )
+        large = baseline_config().with_overrides(
+            width=8, functional_units=4, gpr_phys=130, fpr_phys=112
+        )
+        a = run_pipeline(trace, small).counts
+        b = run_pipeline(trace, large).counts
+        assert a.branches == b.branches
+        assert a.loads == b.loads
+        assert a.mispredicts == b.mispredicts  # same predictor, same stream
+        assert a.dl1_misses == b.dl1_misses    # same caches, same reuse

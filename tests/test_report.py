@@ -1,0 +1,56 @@
+"""Tests for report generation."""
+
+import pytest
+
+from repro.harness.report import generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_restricted_ids(self, ctx):
+        text = generate_report(ctx, experiment_ids=["T1", "T3"])
+        assert "## T1" in text
+        assert "## T3" in text
+        assert "## F1" not in text
+
+    def test_header_mentions_scale_and_benchmarks(self, ctx):
+        text = generate_report(ctx, experiment_ids=["T1"])
+        assert f"`{ctx.scale.name}`" in text
+        assert "ammp" in text
+
+    def test_unknown_id_rejected(self, ctx):
+        with pytest.raises(KeyError):
+            generate_report(ctx, experiment_ids=["F99"])
+
+    def test_custom_title(self, ctx):
+        text = generate_report(ctx, experiment_ids=["T1"], title="My Report")
+        assert text.startswith("# My Report")
+
+
+class TestWriteReport:
+    def test_writes_file(self, ctx, tmp_path):
+        path = write_report(ctx, tmp_path / "sub" / "report.md", ["T1"])
+        assert path.exists()
+        assert "## T1" in path.read_text()
+
+
+class TestCliReport:
+    def test_report_command(self, ctx, tmp_path, capsys, monkeypatch):
+        import repro.experiments as experiments
+        from repro.cli import main
+
+        monkeypatch.setattr(experiments, "_CONTEXTS", {ctx.scale.name: ctx})
+        monkeypatch.setattr("repro.cli.get_scale", lambda name=None: ctx.scale)
+        output = tmp_path / "r.md"
+        assert main(["report", "--output", str(output), "--only", "T1"]) == 0
+        assert output.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_report_command_bad_id(self, ctx, tmp_path, capsys, monkeypatch):
+        import repro.experiments as experiments
+        from repro.cli import main
+
+        monkeypatch.setattr(experiments, "_CONTEXTS", {ctx.scale.name: ctx})
+        monkeypatch.setattr("repro.cli.get_scale", lambda name=None: ctx.scale)
+        assert main(
+            ["report", "--output", str(tmp_path / "r.md"), "--only", "NOPE"]
+        ) == 2

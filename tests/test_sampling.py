@@ -1,0 +1,142 @@
+"""Tests for design space samplers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.designspace import (
+    DesignSpace,
+    Parameter,
+    ParameterError,
+    sample_halton,
+    sample_stratified,
+    sample_uar,
+    sampling_space,
+    split_train_validation,
+)
+
+
+@pytest.fixture(scope="module")
+def toy_space():
+    return DesignSpace(
+        [
+            Parameter(name="a", values=(1, 2, 3, 4)),
+            Parameter(name="b", values=(1, 2, 3)),
+            Parameter(name="c", values=(1, 2)),
+        ]
+    )
+
+
+class TestUAR:
+    def test_count(self, toy_space):
+        assert len(sample_uar(toy_space, 10, seed=1)) == 10
+
+    def test_unique_by_default(self, toy_space):
+        points = sample_uar(toy_space, 20, seed=1)
+        assert len(set(points)) == 20
+
+    def test_unique_cannot_exceed_space(self, toy_space):
+        with pytest.raises(ParameterError):
+            sample_uar(toy_space, len(toy_space) + 1, seed=1)
+
+    def test_with_replacement_can_exceed_space(self, toy_space):
+        points = sample_uar(toy_space, 50, seed=1, unique=False)
+        assert len(points) == 50
+
+    def test_deterministic_with_seed(self, toy_space):
+        assert sample_uar(toy_space, 8, seed=5) == sample_uar(toy_space, 8, seed=5)
+
+    def test_different_seeds_differ(self, toy_space):
+        a = sample_uar(toy_space, 12, seed=1)
+        b = sample_uar(toy_space, 12, seed=2)
+        assert a != b
+
+    def test_zero_count(self, toy_space):
+        assert sample_uar(toy_space, 0, seed=1) == []
+
+    def test_negative_count_rejected(self, toy_space):
+        with pytest.raises(ParameterError):
+            sample_uar(toy_space, -1)
+
+    def test_rejection_path_on_huge_space(self):
+        # |S| = 375,000 >> 20 * count triggers the rejection sampler.
+        points = sample_uar(sampling_space(), 100, seed=3)
+        assert len(set(points)) == 100
+
+    def test_all_points_valid(self, toy_space):
+        for point in sample_uar(toy_space, 24, seed=2):
+            assert point in toy_space
+
+    def test_roughly_uniform_coverage(self, toy_space):
+        # Exhaustive draw covers the whole space exactly once.
+        points = sample_uar(toy_space, len(toy_space), seed=0)
+        assert len(set(points)) == len(toy_space)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_membership_property(self, seed):
+        space = sampling_space()
+        for point in sample_uar(space, 5, seed=seed):
+            assert point in space
+
+
+class TestStratified:
+    def test_per_level_counts(self, toy_space):
+        points = sample_stratified(toy_space, "a", per_level=3, seed=1)
+        assert len(points) == 4 * 3
+        for level in (1, 2, 3, 4):
+            assert sum(1 for p in points if p["a"] == level) == 3
+
+    def test_deterministic(self, toy_space):
+        a = sample_stratified(toy_space, "a", 2, seed=9)
+        b = sample_stratified(toy_space, "a", 2, seed=9)
+        assert a == b
+
+    def test_unknown_parameter(self, toy_space):
+        with pytest.raises(ParameterError):
+            sample_stratified(toy_space, "bogus", 2)
+
+
+class TestHalton:
+    def test_deterministic(self, toy_space):
+        assert sample_halton(toy_space, 10) == sample_halton(toy_space, 10)
+
+    def test_count_and_membership(self, toy_space):
+        points = sample_halton(toy_space, 30)
+        assert len(points) == 30
+        assert all(point in toy_space for point in points)
+
+    def test_covers_all_levels_of_each_parameter(self, toy_space):
+        points = sample_halton(toy_space, 60)
+        for parameter in toy_space.parameters:
+            seen = {point[parameter.name] for point in points}
+            assert seen == set(parameter.values)
+
+    def test_negative_count_rejected(self, toy_space):
+        with pytest.raises(ParameterError):
+            sample_halton(toy_space, -1)
+
+    def test_too_many_parameters_rejected(self):
+        parameters = [
+            Parameter(name=f"p{i}", values=(1, 2)) for i in range(13)
+        ]
+        with pytest.raises(ParameterError):
+            sample_halton(DesignSpace(parameters), 4)
+
+
+class TestSplit:
+    def test_sizes(self, toy_space):
+        points = sample_uar(toy_space, 20, seed=1)
+        train, validation = split_train_validation(points, 5, seed=2)
+        assert len(train) == 15
+        assert len(validation) == 5
+
+    def test_disjoint_and_complete(self, toy_space):
+        points = sample_uar(toy_space, 20, seed=1)
+        train, validation = split_train_validation(points, 5, seed=2)
+        assert set(train) | set(validation) == set(points)
+        assert not set(train) & set(validation)
+
+    def test_cannot_hold_out_more_than_available(self, toy_space):
+        points = sample_uar(toy_space, 4, seed=1)
+        with pytest.raises(ParameterError):
+            split_train_validation(points, 5)

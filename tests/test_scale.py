@@ -1,0 +1,53 @@
+"""Tests for scale presets."""
+
+import pytest
+
+from repro.harness import PRESETS, ScaleError, get_scale
+
+
+class TestPresets:
+    def test_three_presets(self):
+        assert set(PRESETS) == {"ci", "default", "paper"}
+
+    def test_paper_scale_matches_paper_counts(self):
+        paper = PRESETS["paper"]
+        assert paper.n_train == 1000      # Section 2.3
+        assert paper.n_validation == 100  # Figure 1
+        assert paper.exploration_limit is None  # exhaustive
+
+    def test_ci_smaller_than_default(self):
+        ci, default = PRESETS["ci"], PRESETS["default"]
+        assert ci.n_train < default.n_train
+        assert ci.trace_length < default.trace_length
+
+    def test_get_scale_by_name(self):
+        assert get_scale("ci").name == "ci"
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        assert get_scale().name == "ci"
+
+    def test_get_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "default"
+
+    def test_unknown_preset(self):
+        with pytest.raises(ScaleError):
+            get_scale("galactic")
+
+    def test_with_overrides(self):
+        scale = get_scale("ci").with_overrides(n_train=3)
+        assert scale.n_train == 3
+        assert scale.trace_length == PRESETS["ci"].trace_length
+
+    def test_rejects_non_positive_knobs(self):
+        with pytest.raises(ScaleError):
+            get_scale("ci").with_overrides(n_train=0)
+
+    def test_rejects_bad_exploration_limit(self):
+        with pytest.raises(ScaleError):
+            get_scale("ci").with_overrides(exploration_limit=0)
+
+    def test_none_exploration_limit_allowed(self):
+        scale = get_scale("ci").with_overrides(exploration_limit=None)
+        assert scale.exploration_limit is None

@@ -1,0 +1,157 @@
+"""Tests for the pareto frontier study (Section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.studies import pareto
+from repro.studies.pareto import discretized_frontier, pareto_indices
+
+
+class TestParetoIndices:
+    def test_single_point(self):
+        assert pareto_indices(np.array([1.0]), np.array([1.0])).tolist() == [0]
+
+    def test_dominated_point_removed(self):
+        delay = np.array([1.0, 2.0])
+        power = np.array([1.0, 2.0])
+        assert pareto_indices(delay, power).tolist() == [0]
+
+    def test_trade_off_points_kept(self):
+        delay = np.array([1.0, 2.0, 3.0])
+        power = np.array([3.0, 2.0, 1.0])
+        assert pareto_indices(delay, power).tolist() == [0, 1, 2]
+
+    def test_interior_point_removed(self):
+        delay = np.array([1.0, 2.0, 3.0])
+        power = np.array([3.0, 2.5, 1.0])  # middle dominated? no — keep
+        assert pareto_indices(delay, power).tolist() == [0, 1, 2]
+        power = np.array([3.0, 3.5, 1.0])  # middle strictly dominated by first
+        assert pareto_indices(delay, power).tolist() == [0, 2]
+
+    def test_equal_delay_keeps_cheapest(self):
+        delay = np.array([1.0, 1.0, 2.0])
+        power = np.array([5.0, 3.0, 1.0])
+        assert pareto_indices(delay, power).tolist() == [1, 2]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pareto_indices(np.array([1.0]), np.array([1.0, 2.0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 100), st.floats(0.1, 100)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_no_frontier_point_is_dominated(self, raw):
+        delay = np.array([p[0] for p in raw])
+        power = np.array([p[1] for p in raw])
+        frontier = pareto_indices(delay, power)
+        for i in frontier:
+            dominated = (
+                (delay <= delay[i]) & (power <= power[i])
+                & ((delay < delay[i]) | (power < power[i]))
+            )
+            assert not dominated.any()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 100), st.floats(0.1, 100)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_every_non_frontier_point_is_dominated(self, raw):
+        delay = np.array([p[0] for p in raw])
+        power = np.array([p[1] for p in raw])
+        frontier = set(pareto_indices(delay, power).tolist())
+        for i in range(len(raw)):
+            if i in frontier:
+                continue
+            dominated = (
+                (delay <= delay[i]) & (power <= power[i])
+                & ((delay < delay[i]) | (power < power[i]))
+            )
+            duplicate_kept = any(
+                delay[j] == delay[i] and power[j] == power[i] for j in frontier
+            )
+            assert dominated.any() or duplicate_kept
+
+
+class TestDiscretizedFrontier:
+    def test_subset_of_candidates(self):
+        rng = np.random.default_rng(0)
+        delay = rng.uniform(1, 10, 200)
+        power = rng.uniform(1, 100, 200)
+        chosen = discretized_frontier(delay, power, bins=20)
+        assert set(chosen.tolist()) <= set(range(200))
+
+    def test_result_is_non_dominated(self):
+        rng = np.random.default_rng(1)
+        delay = rng.uniform(1, 10, 200)
+        power = rng.uniform(1, 100, 200)
+        chosen = discretized_frontier(delay, power, bins=20)
+        sub_frontier = pareto_indices(delay[chosen], power[chosen])
+        assert len(sub_frontier) == len(chosen)
+
+    def test_bins_must_be_positive(self):
+        with pytest.raises(ValueError):
+            discretized_frontier(np.array([1.0]), np.array([1.0]), bins=0)
+
+    def test_more_bins_no_fewer_points(self):
+        rng = np.random.default_rng(2)
+        delay = rng.uniform(1, 10, 300)
+        power = 50.0 / delay + rng.uniform(0, 1, 300)  # clean trade-off
+        few = discretized_frontier(delay, power, bins=5)
+        many = discretized_frontier(delay, power, bins=40)
+        assert len(many) >= len(few)
+
+
+class TestStudyOutputs:
+    def test_characterization_covers_exploration_set(self, ctx):
+        table = pareto.characterize(ctx, "ammp")
+        assert len(table) == ctx.scale.exploration_limit
+        assert (table.bips > 0).all()
+        assert (table.watts > 0).all()
+
+    def test_frontier_points_belong_to_table(self, ctx):
+        front = pareto.frontier(ctx, "mcf", bins=25)
+        table = ctx.predict_exploration("mcf")
+        for i, point in zip(front.indices, front.points):
+            assert table.points[i] == point
+
+    def test_frontier_sorted_by_delay(self, ctx):
+        front = pareto.frontier(ctx, "ammp", bins=25)
+        assert (np.diff(front.delay) >= 0).all()
+        assert (np.diff(front.power) <= 0).all()
+
+    def test_efficiency_optimum_is_argmax(self, ctx):
+        row = pareto.efficiency_optimum(ctx, "gzip", validate=False)
+        table = ctx.predict_exploration("gzip")
+        assert row.predicted_efficiency == pytest.approx(float(table.efficiency.max()))
+
+    def test_table2_covers_suite(self, ctx):
+        rows = pareto.table2(ctx, validate=False)
+        assert [r.benchmark for r in rows] == list(ctx.benchmarks)
+
+    def test_validated_optimum_has_errors(self, ctx):
+        row = pareto.efficiency_optimum(ctx, "gzip", validate=True)
+        assert np.isfinite(row.delay_error)
+        assert np.isfinite(row.power_error)
+
+    def test_validate_frontier_summary(self, ctx):
+        validation = pareto.validate_frontier(ctx, "ammp")
+        assert len(validation.points) <= ctx.scale.frontier_validations
+        assert (validation.simulated_delay > 0).all()
+        assert validation.delay_errors.stats.n == len(validation.points)
+
+    def test_resource_trend_levels(self, ctx):
+        trend = pareto.resource_trend(ctx, "mcf", "l2_mb")
+        assert set(trend) <= {0.25, 0.5, 1.0, 2.0, 4.0}
+        # mcf: mean delay falls as L2 grows (Figure 2's arrow)
+        levels = sorted(trend)
+        assert trend[levels[0]]["mean_delay"] > trend[levels[-1]]["mean_delay"]

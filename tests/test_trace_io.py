@@ -1,0 +1,69 @@
+"""Tests for trace save/load."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.simulator import Simulator, baseline_config
+from repro.workloads import (
+    TraceError,
+    generate_trace,
+    get_profile,
+    load_trace,
+    save_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(get_profile("twolf"), 3000, seed=13)
+
+
+class TestRoundTrip:
+    def test_columns_identical(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "twolf.npz")
+        loaded = load_trace(path)
+        for column in ("op", "src1", "src2", "mem_block", "data_reuse",
+                       "iblock", "instr_reuse", "taken", "branch_site"):
+            assert (getattr(loaded, column) == getattr(trace, column)).all(), column
+
+    def test_header_round_trips(self, trace, tmp_path):
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        assert loaded.name == trace.name
+        assert loaded.ref_instructions == trace.ref_instructions
+        assert loaded.metadata == trace.metadata
+
+    def test_simulation_identical_after_reload(self, trace, tmp_path):
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        simulator = Simulator()
+        original = simulator.simulate(trace, baseline_config())
+        reloaded = simulator.simulate(loaded, baseline_config())
+        assert original.cycles == reloaded.cycles
+        assert original.watts == pytest.approx(reloaded.watts)
+
+    def test_creates_parent_directories(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "deep" / "dir" / "t.npz")
+        assert path.exists()
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="unreadable"):
+            load_trace(tmp_path / "absent.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not an npz at all")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_version_mismatch(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.npz")
+        # rewrite the header with a wrong version
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {k: archive[k] for k in archive.files if k != "header"}
+        header = json.dumps({"version": 999, "name": "x", "ref_instructions": 1e9})
+        np.savez_compressed(path, header=np.array(header), **arrays)
+        with pytest.raises(TraceError, match="version"):
+            load_trace(path)

@@ -1,0 +1,98 @@
+"""Tests for SMARTS-style trace sampling."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import baseline_config
+from repro.workloads import (
+    TraceSamplingError,
+    generate_trace,
+    get_profile,
+    systematic_sample,
+    validate_sampling,
+)
+
+
+@pytest.fixture(scope="module")
+def long_trace():
+    return generate_trace(get_profile("gzip"), 20000, seed=8)
+
+
+class TestSystematicSample:
+    def test_length(self, long_trace):
+        sampled = systematic_sample(long_trace, segments=10, segment_length=200)
+        assert len(sampled) == 2000
+
+    def test_valid_trace(self, long_trace):
+        # Trace's own validation runs in its constructor; just build it
+        sampled = systematic_sample(long_trace, segments=5, segment_length=100)
+        assert sampled.name == long_trace.name
+        assert sampled.ref_instructions == long_trace.ref_instructions
+
+    def test_metadata_records_provenance(self, long_trace):
+        sampled = systematic_sample(long_trace, segments=4, segment_length=50)
+        assert sampled.metadata["sampled_from"] == len(long_trace)
+        assert sampled.metadata["segments"] == 4
+
+    def test_dependences_clipped_to_segments(self, long_trace):
+        sampled = systematic_sample(long_trace, segments=10, segment_length=100)
+        positions = np.arange(len(sampled)) % 100
+        assert (sampled.src1 <= positions).all()
+        assert (sampled.src2 <= positions).all()
+
+    def test_segments_preserve_content(self, long_trace):
+        sampled = systematic_sample(
+            long_trace, segments=2, segment_length=100, offset=0
+        )
+        # first segment starts at the trace start
+        assert (sampled.op[:100] == long_trace.op[:100]).all()
+        assert (sampled.mem_block[:100] == long_trace.mem_block[:100]).all()
+
+    def test_mix_approximately_preserved(self, long_trace):
+        sampled = systematic_sample(long_trace, segments=20, segment_length=200)
+        full_mix = long_trace.mix()
+        sampled_mix = sampled.mix()
+        for op_class, fraction in full_mix.items():
+            assert sampled_mix[op_class] == pytest.approx(fraction, abs=0.03)
+
+    def test_rejects_oversize_sample(self, long_trace):
+        with pytest.raises(TraceSamplingError):
+            systematic_sample(long_trace, segments=300, segment_length=100)
+
+    def test_rejects_bad_parameters(self, long_trace):
+        with pytest.raises(TraceSamplingError):
+            systematic_sample(long_trace, segments=0, segment_length=10)
+        with pytest.raises(TraceSamplingError):
+            systematic_sample(long_trace, segments=1, segment_length=0)
+        with pytest.raises(TraceSamplingError):
+            systematic_sample(long_trace, segments=1, segment_length=10,
+                              offset=len(long_trace))
+
+
+class TestSamplingValidation:
+    def test_sampled_trace_predicts_full_trace(self, long_trace):
+        """The trace-sampling claim: 5x fewer instructions, small error."""
+        validation = validate_sampling(
+            long_trace, baseline_config(), segments=10, segment_length=400
+        )
+        assert validation.reduction == pytest.approx(5.0)
+        assert validation.bips_error < 0.10
+        assert validation.watts_error < 0.10
+
+    def test_longer_segments_reduce_bias(self, long_trace):
+        """Segment-boundary dependence clipping inflates IPC — the analogue
+        of SMARTS's warm-up bias — so longer segments must be more accurate
+        at equal total sample size."""
+        short = validate_sampling(
+            long_trace, baseline_config(), segments=20, segment_length=100
+        )
+        long = validate_sampling(
+            long_trace, baseline_config(), segments=5, segment_length=400
+        )
+        assert long.bips_error < short.bips_error
+
+    def test_reduction_reported(self, long_trace):
+        validation = validate_sampling(
+            long_trace, baseline_config(), segments=4, segment_length=500
+        )
+        assert validation.reduction == pytest.approx(10.0)
