@@ -12,6 +12,7 @@ Studies with Microarchitectural Regression Models" (HPCA 2007):
 - :mod:`repro.metrics` — delay, watts, bips^3/w
 - :mod:`repro.studies` — the pareto, pipeline-depth and heterogeneity studies
 - :mod:`repro.harness` — campaigns, caching, scale presets, rendering
+- :mod:`repro.analysis` — repo-specific static analysis (``repro analyze``)
 
 Quick start::
 
@@ -26,6 +27,7 @@ Quick start::
 __version__ = "1.0.0"
 
 from . import (  # noqa: F401
+    analysis,
     cluster,
     designspace,
     harness,
@@ -47,5 +49,6 @@ __all__ = [
     "metrics",
     "studies",
     "harness",
+    "analysis",
     "__version__",
 ]

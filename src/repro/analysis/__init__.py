@@ -1,0 +1,47 @@
+"""Repo-specific static analysis (``repro analyze``).
+
+An AST-based checker enforcing the properties the reproduction's validity
+rests on: determinism (no global RNG state, no unseeded generators),
+numerical safety (float equality, division and log/sqrt domains), the
+package-layering DAG, the designspace <-> simulator <-> regression
+parameter contracts, and error hygiene.  See ``docs/ANALYSIS.md`` for the
+rule catalogue and the baseline workflow.
+
+Typical use::
+
+    from pathlib import Path
+    from repro.analysis import Baseline, analyze_paths, render_text
+
+    report = analyze_paths([Path("src")], baseline=Baseline.load(
+        Path("analysis-baseline.json")))
+    print(render_text(report))
+    raise SystemExit(report.exit_code(strict=True))
+"""
+
+from .baseline import Baseline, BaselineEntry, BaselineError
+from .context import PACKAGE_RANKS, ModuleContext, ProjectContext
+from .findings import Finding, Severity
+from .registry import Rule, all_rules, get_rule, register, select_rules
+from .report import render_json, render_text
+from .runner import AnalysisReport, analyze_paths, collect_files
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "Finding",
+    "ModuleContext",
+    "PACKAGE_RANKS",
+    "ProjectContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "collect_files",
+    "get_rule",
+    "register",
+    "render_json",
+    "render_text",
+    "select_rules",
+]

@@ -1,0 +1,159 @@
+"""Baseline suppression file.
+
+A baseline entry records one *accepted* finding — rule id, path and the
+stripped source line it fired on — plus a mandatory human reason.  The
+source-line fingerprint (rather than a line number) keeps entries valid
+as unrelated edits move code around.  Entries that no longer match any
+finding are reported as *stale* so the file cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+from .findings import Finding
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files."""
+
+
+def paths_match(left: str, right: str) -> bool:
+    """Suffix-tolerant path comparison (cwd-independent matching)."""
+    if left == right:
+        return True
+    return left.endswith("/" + right) or right.endswith("/" + left)
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: where it is and why it is acceptable."""
+
+    rule: str
+    path: str
+    context: str
+    reason: str
+    line: int = 0  # informational only; matching uses the context line
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this entry suppresses ``finding``."""
+        if self.rule != finding.rule:
+            return False
+        if not paths_match(self.path, finding.path):
+            return False
+        return not self.context or self.context == finding.context
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "context": self.context,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    """An ordered collection of suppression entries."""
+
+    entries: List[BaselineEntry]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        """A baseline that suppresses nothing."""
+        return cls(entries=[])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls.empty()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise BaselineError(f"cannot read baseline {path}: {error}") from error
+        raw_entries = payload.get("entries", [])
+        if not isinstance(raw_entries, list):
+            raise BaselineError(f"{path}: 'entries' must be a list")
+        entries = []
+        for raw in raw_entries:
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=str(raw["rule"]),
+                        path=str(raw["path"]),
+                        context=str(raw.get("context", "")),
+                        reason=str(raw.get("reason", "")),
+                        line=int(raw.get("line", 0)),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                raise BaselineError(
+                    f"{path}: malformed baseline entry {raw!r}"
+                ) from error
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], reason: str = "TODO: justify"
+    ) -> "Baseline":
+        """Baseline accepting every given finding (``--write-baseline``)."""
+        entries = [
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                context=finding.context,
+                reason=reason,
+                line=finding.line,
+            )
+            for finding in sorted(findings, key=Finding.sort_key)
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as pretty JSON."""
+        payload = {
+            "version": 1,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def partition(
+        self,
+        findings: Iterable[Finding],
+        ran_rules: Optional[Iterable[str]] = None,
+    ) -> Tuple[
+        List[Finding], List[Tuple[Finding, BaselineEntry]], List[BaselineEntry]
+    ]:
+        """Split findings into (active, suppressed, stale-entries).
+
+        Entries for rules outside ``ran_rules`` (when given) are neither
+        matched nor stale — a rule that did not run cannot age them out.
+        """
+        active: List[Finding] = []
+        suppressed: List[Tuple[Finding, BaselineEntry]] = []
+        used = [False] * len(self.entries)
+        for finding in findings:
+            match: Optional[int] = None
+            for index, entry in enumerate(self.entries):
+                if entry.matches(finding):
+                    match = index
+                    break
+            if match is None:
+                active.append(finding)
+            else:
+                used[match] = True
+                suppressed.append((finding, self.entries[match]))
+        considered = None if ran_rules is None else set(ran_rules)
+        stale = [
+            entry
+            for entry, was_used in zip(self.entries, used)
+            if not was_used
+            and (considered is None or entry.rule in considered)
+        ]
+        return active, suppressed, stale

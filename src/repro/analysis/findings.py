@@ -1,0 +1,83 @@
+"""Findings: what a rule reports and how findings are ordered.
+
+A :class:`Finding` pins one defect to a ``path:line:col`` location with a
+rule id, a severity and a human-readable message.  The ``context`` field
+carries the stripped source line, which doubles as the stable fingerprint
+used by the baseline file (line numbers drift; source lines rarely do).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class Severity(enum.IntEnum):
+    """Ordered severities; higher values are worse."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """Lower-case name used in reports and JSON output."""
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        """Parse a severity from its lower-case label."""
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {label!r}; "
+                f"choices are {[s.label for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    col: int = 0
+    context: str = ""
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable ordering: by file, then location, then rule id."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def location(self) -> str:
+        """``path:line:col`` string for reports."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+        }
+
+
+@dataclass
+class RuleStats:
+    """Per-rule tally used by the text reporter's summary."""
+
+    count: int = 0
+    files: set = field(default_factory=set)
+
+    def add(self, finding: Finding) -> None:
+        """Fold one finding into the tally."""
+        self.count += 1
+        self.files.add(finding.path)

@@ -1,0 +1,100 @@
+"""Rule base class and registry.
+
+Rules self-register via the :func:`register` decorator.  A rule is either
+module-scoped (``check_module`` runs once per file) or project-scoped
+(``check_project`` runs once over the whole analyzed tree — the
+cross-layer contract checks need both sides of a contract in view).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from .context import ModuleContext, ProjectContext
+from .findings import Finding, Severity
+
+
+class Rule:
+    """One static-analysis check.
+
+    Subclasses set the class attributes and override one of the two
+    ``check_*`` hooks depending on :attr:`scope`.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.WARNING
+    scope: str = "module"  # "module" | "project"
+    description: str = ""
+    #: Skip this rule for test code (tests may legitimately poke globals).
+    exempt_tests: bool = False
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one parsed module (module-scoped rules)."""
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Yield findings over the whole tree (project-scoped rules)."""
+        return iter(())
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        line: int,
+        message: str,
+        col: int = 0,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """Construct a finding anchored in ``ctx`` with its fingerprint."""
+        return Finding(
+            rule=self.id,
+            severity=severity or self.severity,
+            path=ctx.relpath,
+            line=line,
+            col=col,
+            message=message,
+            context=ctx.source_line(line),
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and index a rule by its id."""
+    rule = rule_class()
+    if not rule.id:
+        raise ValueError(f"{rule_class.__name__} has no rule id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id (rule modules auto-import)."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def select_rules(rule_ids: Optional[Iterable[str]]) -> List[Rule]:
+    """Rules named by ``rule_ids`` (or all rules when None/empty)."""
+    if not rule_ids:
+        return all_rules()
+    return [get_rule(rule_id) for rule_id in rule_ids]
+
+
+def _ensure_loaded() -> None:
+    """Import the rule modules so their ``@register`` decorators run."""
+    from . import rules  # noqa: F401  (import populates the registry)

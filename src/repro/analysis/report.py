@@ -1,0 +1,73 @@
+"""Text and JSON reporters for analysis results."""
+
+from __future__ import annotations
+
+import json
+
+from .findings import RuleStats, Severity
+from .runner import AnalysisReport
+
+
+def render_text(report: AnalysisReport, show_context: bool = True) -> str:
+    """Human-readable listing: one ``path:line:col`` block per finding."""
+    lines = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule} "
+            f"{finding.severity.label}: {finding.message}"
+        )
+        if show_context and finding.context:
+            lines.append(f"    {finding.context}")
+    for entry in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry.rule} at {entry.path} "
+            f"({entry.reason or 'no reason recorded'})"
+        )
+    lines.append(_summary_line(report))
+    return "\n".join(lines)
+
+
+def _summary_line(report: AnalysisReport) -> str:
+    counts = report.counts()
+    total = len(report.findings)
+    if total == 0:
+        parts = [f"0 findings in {report.files_analyzed} files"]
+    else:
+        by_severity = ", ".join(
+            f"{counts[severity.label]} {severity.label}"
+            for severity in sorted(Severity, reverse=True)
+            if counts[severity.label]
+        )
+        per_rule: dict = {}
+        for finding in report.findings:
+            per_rule.setdefault(finding.rule, RuleStats()).add(finding)
+        worst = ", ".join(
+            f"{rule}x{stats.count}" for rule, stats in sorted(per_rule.items())
+        )
+        parts = [
+            f"{total} findings ({by_severity}) in "
+            f"{report.files_analyzed} files [{worst}]"
+        ]
+    if report.suppressed:
+        parts.append(f"{len(report.suppressed)} suppressed by baseline")
+    if report.stale_baseline:
+        parts.append(f"{len(report.stale_baseline)} stale baseline entries")
+    return "; ".join(parts)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-readable JSON document for the whole run."""
+    payload = {
+        "version": 1,
+        "root": str(report.root),
+        "files_analyzed": report.files_analyzed,
+        "rules": report.rule_ids,
+        "summary": report.counts(),
+        "findings": [finding.to_dict() for finding in report.findings],
+        "suppressed": [
+            dict(finding.to_dict(), reason=entry.reason)
+            for finding, entry in report.suppressed
+        ],
+        "stale_baseline": [entry.to_dict() for entry in report.stale_baseline],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,14 @@
+"""Rule implementations, grouped by family.
+
+Importing this package registers every rule:
+
+- ``DET*``  determinism (global RNG state, unseeded generators)
+- ``NUM*``  numerical safety (float equality, division, log/sqrt domains)
+- ``LAY*``  package layering (the repro import DAG)
+- ``CON*``  cross-layer contracts (design space <-> simulator <-> models)
+- ``HYG*``  error hygiene (bare/silent excepts, mutable defaults)
+"""
+
+from . import contracts, determinism, hygiene, layering, numeric
+
+__all__ = ["contracts", "determinism", "hygiene", "layering", "numeric"]

@@ -1,0 +1,135 @@
+"""Layering rule (LAY).
+
+The repo's packages form a DAG (see
+:data:`repro.analysis.context.PACKAGE_RANKS`): ``metrics`` and
+``analysis`` import nothing else from ``repro``; ``designspace``,
+``workloads``, ``power`` and ``cluster`` sit above them; then
+``simulator``, ``regression``, ``baselines``/``harness`` and finally
+``studies``.  A package may only import packages of strictly lower rank.
+
+Only *import-time* imports are checked: function-scoped lazy imports and
+``if TYPE_CHECKING:`` blocks are the sanctioned escape hatches for the
+known annotation/reporting cycles (``power`` <-> ``simulator``,
+``harness`` -> ``experiments``) and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from ..context import PACKAGE_RANKS, ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    """Whether an ``if`` test is (typing.)TYPE_CHECKING."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _import_time_imports(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Import statements executed at module import time.
+
+    Recurses through module-level ``if``/``try``/class bodies but not
+    into functions, and skips ``if TYPE_CHECKING:`` branches.
+    """
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+        elif isinstance(node, ast.If):
+            if not _is_type_checking(node.test):
+                stack.extend(node.body)
+            stack.extend(node.orelse)
+        elif isinstance(node, ast.Try):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+            stack.extend(node.finalbody)
+            for handler in node.handlers:
+                stack.extend(handler.body)
+        elif isinstance(node, ast.ClassDef):
+            stack.extend(node.body)
+
+
+def _target_modules(node: ast.stmt, ctx: ModuleContext) -> List[str]:
+    """Dotted module targets of one import statement."""
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    assert isinstance(node, ast.ImportFrom)
+    if node.level == 0:
+        if not node.module:
+            return []
+        # ``from repro import studies``: the imported names may themselves
+        # be packages, so consider both the module and its attributes.
+        return [node.module] + [
+            f"{node.module}.{alias.name}" for alias in node.names
+        ]
+    parts = ctx.module.split(".")
+    base_parts = parts[: len(parts) - node.level] if len(parts) >= node.level else []
+    if node.module:
+        return [".".join(base_parts + node.module.split("."))]
+    # ``from .. import designspace`` — each alias is itself a module
+    return [".".join(base_parts + [alias.name]) for alias in node.names]
+
+
+def _target_package(target: str) -> Optional[Tuple[str, str]]:
+    """(package, display name) when ``target`` is a ranked repro package."""
+    parts = target.split(".")
+    if "repro" in parts:
+        index = parts.index("repro")
+        if index + 1 < len(parts) and parts[index + 1] in PACKAGE_RANKS:
+            return parts[index + 1], target
+        return None
+    if parts and parts[0] in PACKAGE_RANKS:
+        return parts[0], target
+    return None
+
+
+@register
+class LayeringViolation(Rule):
+    """LAY001: import against the package DAG."""
+
+    id = "LAY001"
+    name = "layering-violation"
+    severity = Severity.ERROR
+    description = (
+        "Import-time import of a repro package at the same or a higher"
+        " layer (e.g. simulator importing studies) — the package DAG runs"
+        " metrics/analysis < designspace/workloads/power/cluster <"
+        " simulator < regression < baselines/harness < studies."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag upward or sibling imports executed at import time."""
+        importer_rank = PACKAGE_RANKS.get(ctx.package)
+        if importer_rank is None:
+            return  # top-level glue (cli, experiments, __main__) is exempt
+        for node in _import_time_imports(ctx.tree):
+            flagged = set()
+            for target in _target_modules(node, ctx):
+                resolved = _target_package(target)
+                if resolved is None:
+                    continue
+                package, display = resolved
+                if package == ctx.package or package in flagged:
+                    continue
+                flagged.add(package)
+                target_rank = PACKAGE_RANKS[package]
+                if target_rank < importer_rank:
+                    continue
+                direction = "higher" if target_rank > importer_rank else "same"
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"{ctx.package} (layer {importer_rank}) imports "
+                    f"{display} (layer {target_rank}, {direction}-ranked); "
+                    "invert the dependency or move it behind a "
+                    "function-scoped import",
+                    col=node.col_offset,
+                )

@@ -1,0 +1,137 @@
+"""Analysis driver: collect files, run rules, apply the baseline.
+
+:func:`analyze_paths` is the single entry point used by the CLI, the
+pytest gate and CI.  It parses every ``.py`` file under the given paths,
+runs module-scoped rules per file and project-scoped rules once, then
+filters the findings through the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline, BaselineEntry
+from .context import ModuleContext, ProjectContext, build_module_context
+from .findings import Finding, Severity
+from .registry import Rule, select_rules
+
+#: Rule id attached to files that fail to parse.
+PARSE_RULE_ID = "PARSE"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".repro_cache", "build", "dist"}
+
+
+def collect_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: Dict[Path, None] = {}
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not any(
+                    part in _SKIP_DIRS or part.startswith(".")
+                    for part in candidate.relative_to(path).parts
+                )
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            seen.setdefault(candidate.resolve(), None)
+    return sorted(seen)
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run."""
+
+    root: Path
+    files_analyzed: int
+    rule_ids: List[str]
+    findings: List[Finding]
+    suppressed: List[Tuple[Finding, BaselineEntry]] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        """Finding tally by severity label."""
+        tally = {severity.label: 0 for severity in Severity}
+        for finding in self.findings:
+            tally[finding.severity.label] += 1
+        return tally
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean.
+
+        Non-strict: fail only on error-severity findings.  Strict: fail on
+        any finding and on stale baseline entries.
+        """
+        if strict:
+            return 1 if (self.findings or self.stale_baseline) else 0
+        has_errors = any(
+            finding.severity >= Severity.ERROR for finding in self.findings
+        )
+        return 1 if has_errors else 0
+
+
+def _parse_failure(path: Path, root: Path, message: str) -> Finding:
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    return Finding(
+        rule=PARSE_RULE_ID,
+        severity=Severity.ERROR,
+        path=relpath,
+        line=1,
+        message=message,
+    )
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> AnalysisReport:
+    """Run the selected rules over ``paths`` and apply ``baseline``."""
+    root = Path(root) if root is not None else Path.cwd()
+    selected: List[Rule] = select_rules(rules)
+    files = collect_files(paths)
+
+    contexts: List[ModuleContext] = []
+    raw_findings: List[Finding] = []
+    for path in files:
+        ctx, error = build_module_context(path, root)
+        if ctx is None:
+            raw_findings.append(_parse_failure(path, root, error or "unreadable"))
+            continue
+        contexts.append(ctx)
+
+    project = ProjectContext(root=root, modules=contexts)
+    for rule in selected:
+        if rule.scope == "project":
+            raw_findings.extend(rule.check_project(project))
+            continue
+        for ctx in contexts:
+            if rule.exempt_tests and ctx.is_test:
+                continue
+            raw_findings.extend(rule.check_module(ctx))
+
+    raw_findings.sort(key=Finding.sort_key)
+    baseline = baseline or Baseline.empty()
+    active, suppressed, stale = baseline.partition(
+        raw_findings, ran_rules=[rule.id for rule in selected] + [PARSE_RULE_ID]
+    )
+    return AnalysisReport(
+        root=root,
+        files_analyzed=len(files),
+        rule_ids=[rule.id for rule in selected],
+        findings=active,
+        suppressed=suppressed,
+        stale_baseline=stale,
+    )

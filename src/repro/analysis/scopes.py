@@ -1,0 +1,148 @@
+"""Function-scope indexing shared by the numerical-safety rules.
+
+The NUM rules are guard-sensitive: ``a / n`` is fine when the enclosing
+function checks ``n`` first, and ``np.log(y)`` is fine after a domain
+check on ``y``.  This module builds, per function (plus one synthetic
+module-level scope), the set of names that appear in any guard position —
+``if``/``while``/``assert``/comprehension conditions, comparisons,
+clamping calls such as ``max``/``np.clip`` — together with a map of
+simple local assignments, so rules can answer "was this name checked
+anywhere in this scope?" without flow analysis.  Guards are inherited by
+nested functions (a closure may rely on its enclosing function's checks).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .context import root_names
+
+#: Call names (last dotted component) whose arguments count as guarded —
+#: clamping or domain-restricting operations.
+_CLAMP_CALLS = {
+    "max", "min", "abs", "maximum", "minimum", "clip",
+    "where", "nan_to_num", "fmax", "fmin",
+}
+
+#: Call-name prefixes (underscores stripped) treated as validators: passing
+#: a name into ``_check(...)``/``validate_...(...)`` counts as guarding it.
+_VALIDATOR_PREFIXES = ("check", "validate", "require", "ensure", "assert")
+
+
+def _is_validator_name(name: str) -> bool:
+    """Whether a call name looks like a validation helper."""
+    return name.lstrip("_").startswith(_VALIDATOR_PREFIXES)
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass
+class Scope:
+    """One function (or the module body) and what it guards/assigns."""
+
+    node: ast.AST
+    parent: Optional["Scope"] = None
+    guarded: set = field(default_factory=set)
+    assignments: Dict[str, ast.expr] = field(default_factory=dict)
+    #: True when the scope catches ZeroDivisionError/ValueError itself.
+    handles_domain_errors: bool = False
+
+    def is_guarded(self, name: str) -> bool:
+        """Whether ``name`` is checked in this scope or an enclosing one."""
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if scope.handles_domain_errors or name in scope.guarded:
+                return True
+            scope = scope.parent
+        return False
+
+    def assigned_value(self, name: str) -> Optional[ast.expr]:
+        """Last simple ``name = value`` assignment visible in this scope."""
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.assignments:
+                return scope.assignments[name]
+            scope = scope.parent
+        return None
+
+
+class ScopeIndex:
+    """Scopes of one module, with a node -> nearest-scope mapping."""
+
+    def __init__(self, tree: ast.Module):
+        self.scopes: List[Scope] = []
+        self._scope_of: Dict[int, Scope] = {}
+        module_scope = Scope(tree)
+        self.scopes.append(module_scope)
+        self._visit_body(tree, module_scope)
+
+    def scope_of(self, node: ast.AST) -> Scope:
+        """Nearest enclosing function scope for a visited node."""
+        return self._scope_of[id(node)]
+
+    # -- construction ------------------------------------------------------
+
+    def _visit_body(self, node: ast.AST, scope: Scope) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, scope)
+
+    def _visit(self, node: ast.AST, scope: Scope) -> None:
+        if isinstance(node, _FUNCTION_NODES):
+            inner = Scope(node, parent=scope)
+            self.scopes.append(inner)
+            self._scope_of[id(node)] = scope
+            self._visit_body(node, inner)
+            return
+        self._scope_of[id(node)] = scope
+        self._collect_guards(node, scope)
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.expr):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    scope.assignments[target.id] = node.value
+        self._visit_body(node, scope)
+
+    def _collect_guards(self, node: ast.AST, scope: Scope) -> None:
+        if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            scope.guarded.update(root_names(node.test))
+        elif isinstance(node, ast.Assert):
+            scope.guarded.update(root_names(node.test))
+        elif isinstance(node, ast.comprehension):
+            for condition in node.ifs:
+                scope.guarded.update(root_names(condition))
+        elif isinstance(node, ast.Compare):
+            scope.guarded.update(root_names(node))
+        elif isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+            scope.guarded.update(root_names(node))
+        elif isinstance(node, ast.Call):
+            target = node.func
+            last = (
+                target.attr
+                if isinstance(target, ast.Attribute)
+                else target.id if isinstance(target, ast.Name) else ""
+            )
+            if last in _CLAMP_CALLS or _is_validator_name(last):
+                for arg in node.args:
+                    scope.guarded.update(root_names(arg))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                call = item.context_expr
+                if isinstance(call, ast.Call):
+                    target = call.func
+                    last = (
+                        target.attr
+                        if isinstance(target, ast.Attribute)
+                        else target.id if isinstance(target, ast.Name) else ""
+                    )
+                    if last == "errstate":
+                        scope.handles_domain_errors = True
+        elif isinstance(node, ast.ExceptHandler) and node.type is not None:
+            caught = {
+                name
+                for expr in ast.walk(node.type)
+                if isinstance(expr, ast.Name)
+                for name in [expr.id]
+            }
+            if caught & {"ZeroDivisionError", "FloatingPointError", "ArithmeticError"}:
+                scope.handles_domain_errors = True

@@ -77,7 +77,9 @@ class FittedANN:
 
     def _design(self, data: Mapping[str, np.ndarray]) -> np.ndarray:
         try:
-            columns = [np.asarray(data[name], dtype=float) for name in self.feature_names]
+            columns = [
+                np.asarray(data[name], dtype=float) for name in self.feature_names
+            ]
         except KeyError as error:
             raise ANNError(f"missing predictor {error}") from None
         X = np.column_stack(columns)
@@ -133,6 +135,8 @@ def fit_ann(
     X_val, t_val = X[val_idx], target[val_idx]
 
     h = config.hidden_units
+    if d < 1 or h < 1:
+        raise ANNError(f"need >= 1 input and hidden unit, got d={d}, h={h}")
     w_hidden = rng.normal(0.0, 1.0 / np.sqrt(d), size=(d, h))
     b_hidden = np.zeros(h)
     w_out = rng.normal(0.0, 1.0 / np.sqrt(h), size=h)
@@ -145,6 +149,8 @@ def fit_ann(
     stale = 0
     loss_history: List[float] = []
     m = len(train_idx)
+    if m == 0:
+        raise ANNError("validation split left no training rows")
     lr = config.learning_rate
     mu = config.momentum
 

@@ -54,6 +54,45 @@ def build_parser() -> argparse.ArgumentParser:
     info_parser = subparsers.add_parser("info", help="environment summary")
     info_parser.set_defaults(func=_cmd_info)
 
+    analyze_parser = subparsers.add_parser(
+        "analyze", help="run the repo's static-analysis rules"
+    )
+    analyze_parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to analyze (default: src/)",
+    )
+    analyze_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
+    analyze_parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file (default: analysis-baseline.json if present)",
+    )
+    analyze_parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    analyze_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline file and exit",
+    )
+    analyze_parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on any finding (not just errors) and on stale baseline "
+        "entries",
+    )
+    analyze_parser.add_argument(
+        "--select", nargs="*", default=None, metavar="RULE",
+        help="run only these rule ids, space- or comma-separated "
+        "(e.g. DET001 LAY001 or DET001,LAY001)",
+    )
+    analyze_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    analyze_parser.set_defaults(func=_cmd_analyze)
+
     report_parser = subparsers.add_parser(
         "report", help="run experiments and write a markdown report"
     )
@@ -118,6 +157,69 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 2
     print(f"wrote {path}")
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import (
+        Baseline,
+        BaselineError,
+        all_rules,
+        analyze_paths,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(
+                f"{rule.id}  {rule.severity.label:>7s}  {rule.scope:>7s}  "
+                f"{rule.name}"
+            )
+        return 0
+
+    paths = [Path(p) for p in (args.paths or ["src"])]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(
+        "analysis-baseline.json"
+    )
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as error:
+            print(error, file=sys.stderr)
+            return 2
+
+    selected = None
+    if args.select is not None:
+        selected = [
+            rule for token in args.select for rule in token.split(",") if rule
+        ]
+    try:
+        report = analyze_paths(paths, rules=selected, baseline=baseline)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(
+            f"wrote {len(report.findings)} baseline entries to "
+            f"{baseline_path} (fill in the reason fields)"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code(strict=args.strict)
 
 
 def _cmd_info(args: argparse.Namespace) -> int:

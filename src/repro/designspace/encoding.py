@@ -93,7 +93,8 @@ class NormalizedEncoder(DesignEncoder):
     def encode_point(self, point: DesignPoint) -> np.ndarray:
         raw = super().encode_point(point)
         with np.errstate(invalid="ignore"):
-            unit = np.where(self._spans > 0, (raw - self._lows) / np.where(self._spans > 0, self._spans, 1.0), 0.0)
+            safe_spans = np.where(self._spans > 0, self._spans, 1.0)
+            unit = np.where(self._spans > 0, (raw - self._lows) / safe_spans, 0.0)
         return unit * self._weight_vector
 
     def decode_vector(self, vector: Sequence[float]) -> DesignPoint:

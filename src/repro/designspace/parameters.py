@@ -145,7 +145,14 @@ class Parameter:
     def encode(self, value: Number) -> float:
         """Numeric encoding of ``value`` used by regression and clustering."""
         self.index_of(value)  # validate membership
-        return math.log2(value) if self.log2_encode else float(value)
+        if not self.log2_encode:
+            return float(value)
+        if value <= 0:
+            raise ParameterError(
+                f"{self.name}: log2 encoding requires positive values, "
+                f"got {value!r}"
+            )
+        return math.log2(value)
 
     def decode(self, encoded: float) -> Number:
         """Nearest valid level for an encoded coordinate (inverse of encode)."""

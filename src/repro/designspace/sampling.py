@@ -120,7 +120,9 @@ def sample_halton(
         values = {}
         for parameter, base in zip(space.parameters, _PRIMES):
             coordinate = _halton_sequence(i + skip, base)
-            level = min(int(coordinate * parameter.cardinality), parameter.cardinality - 1)
+            level = min(
+                int(coordinate * parameter.cardinality), parameter.cardinality - 1
+            )
             values[parameter.name] = parameter.values[level]
         points.append(space.point(**values))
     return points

@@ -137,7 +137,8 @@ class DesignSpace:
                 f"point parameters {point.names} do not match space {self._names}"
             )
         index = 0
-        for parameter, radix, value in zip(self._parameters, self._radices, point.values):
+        triples = zip(self._parameters, self._radices, point.values)
+        for parameter, radix, value in triples:
             index += parameter.index_of(value) * radix
         return index
 

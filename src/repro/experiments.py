@@ -160,7 +160,9 @@ def run_t4(ctx: StudyContext) -> ExperimentResult:
         rows,
         title="Table 4: K=4 compromise architectures",
     )
-    return ExperimentResult("T4", "Compromise architectures", text, {"clustering": clustering})
+    return ExperimentResult(
+        "T4", "Compromise architectures", text, {"clustering": clustering}
+    )
 
 
 # -- figures ----------------------------------------------------------------
@@ -181,7 +183,9 @@ def run_f1(ctx: StudyContext) -> ExperimentResult:
     text = "\n\n".join(
         [
             render_boxplot_panel(
-                "Figure 1 (left): performance prediction error", perf_panel, percent=True
+                "Figure 1 (left): performance prediction error",
+                perf_panel,
+                percent=True,
             ),
             render_boxplot_panel(
                 "Figure 1 (right): power prediction error", power_panel, percent=True
@@ -209,7 +213,8 @@ def run_f2(ctx: StudyContext) -> ExperimentResult:
         table = pareto.characterize(ctx, benchmark)
         trend = pareto.resource_trend(ctx, benchmark, "l2_mb")
         lines = [
-            f"{benchmark}: {len(table)} designs, delay {table.delay.min():.2f}..{table.delay.max():.2f}s, "
+            f"{benchmark}: {len(table)} designs, "
+            f"delay {table.delay.min():.2f}..{table.delay.max():.2f}s, "
             f"power {table.watts.min():.1f}..{table.watts.max():.1f}W"
         ]
         for level, stats in trend.items():
@@ -309,17 +314,20 @@ def run_f5b(ctx: StudyContext) -> ExperimentResult:
         rows,
         title="Figure 5b: d-L1 size distribution of 95th percentile designs",
     )
-    return ExperimentResult("F5b", "Top-design cache sizes", text, {"distribution": distribution})
+    return ExperimentResult(
+        "F5b", "Top-design cache sizes", text, {"distribution": distribution}
+    )
 
 
 def run_f6(ctx: StudyContext) -> ExperimentResult:
     """Figure 6: predicted vs simulated efficiency, both analyses."""
     validation = depth.validate_depth_study(ctx)
+    depths = tuple(validation.depths)
     series = [
-        Series("predicted-original", tuple(validation.depths), tuple(validation.predicted_original)),
-        Series("simulated-original", tuple(validation.depths), tuple(validation.simulated_original)),
-        Series("predicted-enhanced", tuple(validation.depths), tuple(validation.predicted_enhanced)),
-        Series("simulated-enhanced", tuple(validation.depths), tuple(validation.simulated_enhanced)),
+        Series("predicted-original", depths, tuple(validation.predicted_original)),
+        Series("simulated-original", depths, tuple(validation.simulated_original)),
+        Series("predicted-enhanced", depths, tuple(validation.predicted_enhanced)),
+        Series("simulated-enhanced", depths, tuple(validation.simulated_enhanced)),
     ]
     text = "Figure 6: depth-study validation (relative bips^3/w)\n" + "\n".join(
         render_series(s) for s in series
@@ -345,7 +353,9 @@ def run_f7(ctx: StudyContext) -> ExperimentResult:
     text = "Figure 7: decomposed depth validation\n" + "\n".join(
         render_series(s) for s in series
     )
-    return ExperimentResult("F7", "Decomposed validation", text, {"validation": validation})
+    return ExperimentResult(
+        "F7", "Decomposed validation", text, {"validation": validation}
+    )
 
 
 def run_f8(ctx: StudyContext) -> ExperimentResult:
@@ -354,7 +364,9 @@ def run_f8(ctx: StudyContext) -> ExperimentResult:
     lines = ["Figure 8: delay/power map (optima then compromises)"]
     for benchmark, (d, p) in mapping.optima.items():
         cluster = mapping.assignment[benchmark]
-        lines.append(f"  {benchmark:7s}: delay={d:.2f}s power={p:.1f}W cluster={cluster + 1}")
+        lines.append(
+            f"  {benchmark:7s}: delay={d:.2f}s power={p:.1f}W cluster={cluster + 1}"
+        )
     for i, (d, p) in enumerate(mapping.compromises, start=1):
         lines.append(f"  compromise {i}: delay={d:.2f}s power={p:.1f}W")
     return ExperimentResult("F8", "Delay/power map", "\n".join(lines), {"map": mapping})
@@ -365,13 +377,17 @@ def run_f9a(ctx: StudyContext) -> ExperimentResult:
     sweep = heterogeneity.k_sweep(ctx, simulate=False)
     lines = ["Figure 9a: predicted bips^3/w gains vs heterogeneity"]
     lines.append(
-        render_series(Series("average", tuple(sweep.cluster_counts), tuple(sweep.average)))
+        render_series(
+            Series("average", tuple(sweep.cluster_counts), tuple(sweep.average))
+        )
     )
     for benchmark, gains in sweep.per_benchmark.items():
         lines.append(
             render_series(Series(benchmark, tuple(sweep.cluster_counts), tuple(gains)))
         )
-    return ExperimentResult("F9a", "Predicted heterogeneity gains", "\n".join(lines), {"sweep": sweep})
+    return ExperimentResult(
+        "F9a", "Predicted heterogeneity gains", "\n".join(lines), {"sweep": sweep}
+    )
 
 
 def run_f9b(ctx: StudyContext) -> ExperimentResult:
@@ -379,13 +395,17 @@ def run_f9b(ctx: StudyContext) -> ExperimentResult:
     sweep = heterogeneity.k_sweep(ctx, simulate=True)
     lines = ["Figure 9b: simulated bips^3/w gains vs heterogeneity"]
     lines.append(
-        render_series(Series("average", tuple(sweep.cluster_counts), tuple(sweep.average)))
+        render_series(
+            Series("average", tuple(sweep.cluster_counts), tuple(sweep.average))
+        )
     )
     for benchmark, gains in sweep.per_benchmark.items():
         lines.append(
             render_series(Series(benchmark, tuple(sweep.cluster_counts), tuple(gains)))
         )
-    return ExperimentResult("F9b", "Simulated heterogeneity gains", "\n".join(lines), {"sweep": sweep})
+    return ExperimentResult(
+        "F9b", "Simulated heterogeneity gains", "\n".join(lines), {"sweep": sweep}
+    )
 
 
 # -- extensions ---------------------------------------------------------------
@@ -734,7 +754,9 @@ def run_x9(ctx: StudyContext) -> ExperimentResult:
         ctx, replicates=replicates, seed=5, benchmarks=["ammp", "mcf", "gzip"]
     )
     histogram = " ".join(
-        f"{int(d)}:{f * 100:.0f}%" for d, f in depth_stability.depth_histogram.items() if f
+        f"{int(d)}:{f * 100:.0f}%"
+        for d, f in depth_stability.depth_histogram.items()
+        if f
     )
     text = "\n".join(
         [

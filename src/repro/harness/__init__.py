@@ -9,7 +9,13 @@ from .artifacts import (
 )
 from .campaign import Campaign, fit_campaign_models, run_campaign
 from .dataset import Dataset, DatasetError
-from .figures import Series, ascii_scatter, render_boxplot, render_boxplot_panel, render_series
+from .figures import (
+    Series,
+    ascii_scatter,
+    render_boxplot,
+    render_boxplot_panel,
+    render_series,
+)
 from .report import generate_report, write_report
 from .scale import PRESETS, ScaleError, ScalePreset, get_scale
 from .tables import render_design_point, render_table

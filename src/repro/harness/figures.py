@@ -83,5 +83,7 @@ def ascii_scatter(
         row = min(int((y - y_min) / y_span * (height - 1)), height - 1)
         grid[height - 1 - row][col] = "*"
     lines = ["".join(row) for row in grid]
-    header = f"{y_label} ({y_min:.3g}..{y_max:.3g}) vs {x_label} ({x_min:.3g}..{x_max:.3g})"
+    header = (
+        f"{y_label} ({y_min:.3g}..{y_max:.3g}) vs {x_label} ({x_min:.3g}..{x_max:.3g})"
+    )
     return "\n".join([header] + lines)

@@ -45,7 +45,9 @@ class PowerModel:
         if scale <= 0:
             raise ValueError(f"scale must be positive, got {scale}")
         self.scale = scale
-        self._components: Dict[str, Callable[[MachineConfig, ActivityCounts], float]] = {
+        self._components: Dict[
+            str, Callable[[MachineConfig, ActivityCounts], float]
+        ] = {
             "clock": lambda c, a: structures.clock_power(c),
             "frontend": structures.frontend_power,
             "regfile": structures.regfile_power,

@@ -156,8 +156,12 @@ def _array_power(
 def cache_power(config: MachineConfig, counts: ActivityCounts) -> float:
     """All three cache arrays plus the memory interface."""
     f = config.frequency_ghz
-    total = _array_power(config.il1_kb, config.il1_assoc, counts.il1_accesses, counts, f)
-    total += _array_power(config.dl1_kb, config.dl1_assoc, counts.dl1_accesses, counts, f)
+    total = _array_power(
+        config.il1_kb, config.il1_assoc, counts.il1_accesses, counts, f
+    )
+    total += _array_power(
+        config.dl1_kb, config.dl1_assoc, counts.dl1_accesses, counts, f
+    )
     total += _array_power(
         config.l2_mb * 1024.0, config.l2_assoc, counts.l2_accesses, counts, f
     )

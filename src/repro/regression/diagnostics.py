@@ -47,10 +47,10 @@ def pearson(x: np.ndarray, y: np.ndarray) -> float:
         raise ValueError(f"length mismatch: {x.size} vs {y.size}")
     xd = x - x.mean()
     yd = y - y.mean()
-    denom = np.sqrt((xd @ xd) * (yd @ yd))
-    if denom == 0:
+    denom_sq = (xd @ xd) * (yd @ yd)
+    if denom_sq <= 0:
         return 0.0
-    return float((xd @ yd) / denom)
+    return float((xd @ yd) / np.sqrt(denom_sq))
 
 
 def spearman(x: np.ndarray, y: np.ndarray) -> float:
@@ -162,6 +162,8 @@ def residual_analysis(
         standardized=standardized,
         mean=float(residuals.mean()),
         std=std,
-        max_abs_standardized=float(np.abs(standardized).max()) if residuals.size else 0.0,
+        max_abs_standardized=(
+            float(np.abs(standardized).max()) if residuals.size else 0.0
+        ),
         per_predictor_correlation=correlations,
     )

@@ -74,7 +74,8 @@ class FittedModel:
 
     def standard_errors(self) -> np.ndarray:
         """Standard error of each coefficient."""
-        return np.sqrt(np.maximum(np.diag(self.xtx_inverse), 0.0) * self.residual_variance)
+        diag = np.maximum(np.diag(self.xtx_inverse), 0.0)
+        return np.sqrt(diag * self.residual_variance)
 
     def prediction_interval(
         self, data: Columns, level: float = 0.95

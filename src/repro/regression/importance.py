@@ -36,6 +36,8 @@ class PredictorImportance:
 
     def shares(self) -> Dict[str, float]:
         """Importance normalized to sum to 1 (degenerate: uniform)."""
+        if not self.partial_r_squared:
+            return {}
         total = sum(max(v, 0.0) for v in self.partial_r_squared.values())
         if total <= 0:
             n = len(self.partial_r_squared)

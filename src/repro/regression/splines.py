@@ -54,7 +54,9 @@ def quantile_knots(x: np.ndarray, n_knots: int) -> np.ndarray:
     if knots.size < 3 <= unique_values.size:
         # Quantiles collapsed (heavily discrete predictor): spread knots
         # over the distinct values instead.
-        indices = np.linspace(0, unique_values.size - 1, min(n_knots, unique_values.size))
+        indices = np.linspace(
+            0, unique_values.size - 1, min(n_knots, unique_values.size)
+        )
         knots = np.unique(unique_values[np.round(indices).astype(int)])
     return knots
 

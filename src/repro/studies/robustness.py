@@ -182,7 +182,9 @@ def depth_optimum_stability(
         histogram[winner] += 1
 
     index = depths.index(nominal_depth)
-    neighbours = {depths[j] for j in (index - 1, index, index + 1) if 0 <= j < len(depths)}
+    neighbours = {
+        depths[j] for j in (index - 1, index, index + 1) if 0 <= j < len(depths)
+    }
     within = sum(histogram[d] for d in neighbours) / replicates
     return DepthStability(
         replicates=replicates,

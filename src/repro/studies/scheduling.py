@@ -100,6 +100,10 @@ class ScheduleResult:
     def geomean_efficiency(self) -> float:
         """Geometric-mean bips^3/w across the scheduled workloads."""
         values = np.array(list(self.per_benchmark_efficiency.values()))
+        if values.size == 0 or (values <= 0).any():
+            raise SchedulingError(
+                "geomean requires a non-empty set of positive efficiencies"
+            )
         return float(np.exp(np.log(values).mean()))
 
 
@@ -139,9 +143,12 @@ def schedule(
             f"{len(cores)} cores"
         )
     efficiency = _efficiency_matrix(ctx, benchmarks, cores)
+    if (efficiency <= 0).any():
+        raise SchedulingError("predicted efficiencies must be positive")
+    log_efficiency = np.log(efficiency)
 
     if policy == "optimal":
-        pairs = hungarian(-np.log(efficiency))
+        pairs = hungarian(-log_efficiency)
     elif policy == "greedy":
         taken: set = set()
         pairs = []
@@ -159,7 +166,7 @@ def schedule(
     per_benchmark = {
         benchmarks[b]: float(efficiency[b, c]) for b, c in pairs
     }
-    total_log = float(np.log(list(per_benchmark.values())).sum())
+    total_log = float(sum(log_efficiency[b, c] for b, c in pairs))
     total_power = sum(
         _power_of(ctx, benchmark, cores[core])
         for benchmark, core in assignment.items()

@@ -85,6 +85,8 @@ def sample_reuse_distances(
     choices = rng.choice(len(strata), size=size, p=weights)
     lo = lows[choices]
     hi = limits[choices]
+    if (lo <= 0).any() or (hi < lo).any():
+        raise ValueError("reuse-distance strata must be positive and ordered")
     u = rng.random(size)
     distances = lo * np.exp(u * np.log(hi / lo))
     return np.maximum(1, distances).astype(np.int64)
@@ -218,7 +220,9 @@ class TraceGenerator:
         n_blocks = (length + INSTRUCTIONS_PER_BLOCK - 1) // INSTRUCTIONS_PER_BLOCK
         starts = rng.integers(0, footprint, size=n_blocks + 1)
         lengths = rng.geometric(1.0 / profile.loop_length_mean, size=n_blocks + 1)
-        iterations = rng.geometric(1.0 / profile.loop_iterations_mean, size=n_blocks + 1)
+        iterations = rng.geometric(
+            1.0 / profile.loop_iterations_mean, size=n_blocks + 1
+        )
         block_sequence = np.empty(n_blocks, dtype=np.int32)
         loop = 0
         start = int(starts[0])
@@ -276,7 +280,8 @@ class TraceGenerator:
         for k in range(count):
             site = sites_list[k]
             previous = state_list[site]
-            outcome = previous if stay_list[k] < persistence_list[site] else not previous
+            flips = stay_list[k] >= persistence_list[site]
+            outcome = not previous if flips else previous
             outcomes[k] = outcome
             state_list[site] = outcome
         taken[branch_positions] = outcomes

@@ -126,6 +126,8 @@ def validate_sampling(
 
     simulator = simulator or Simulator()
     sampled = systematic_sample(trace, segments, segment_length)
+    if len(sampled) == 0:
+        raise ValueError("sampled trace is empty; check segment parameters")
     full_result = simulator.simulate(trace, config)
     sampled_result = simulator.simulate(sampled, config)
     return SamplingValidation(

@@ -149,6 +149,8 @@ class Trace:
     def mix(self) -> Dict[str, float]:
         """Fraction of instructions in each op class."""
         n = len(self)
+        if n == 0:
+            return {OP_NAMES[code]: 0.0 for code in OP_NAMES}
         counts = np.bincount(self.op, minlength=OP_BRANCH + 1)
         return {OP_NAMES[code]: counts[code] / n for code in OP_NAMES}
 

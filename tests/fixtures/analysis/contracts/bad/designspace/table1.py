@@ -1,0 +1,14 @@
+"""Fixture: design space defining one dead parameter (CON001 at line 12)."""
+
+from repro.designspace.parameters import Parameter
+
+DEPTH = Parameter(
+    name="depth",
+    values=(9, 12, 15),
+    derived={"stages": (3, 4, 5)},
+)
+
+GHOST = Parameter(
+    name="ghost_width",
+    values=(2, 4, 8),
+)

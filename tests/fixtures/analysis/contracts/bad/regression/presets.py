@@ -1,0 +1,8 @@
+"""Fixture: model spec naming an unknown predictor (CON003 at line 7)."""
+
+from repro.regression.terms import LinearTerm, SplineTerm
+
+TERMS = (
+    SplineTerm("depth", knots=4),
+    LinearTerm("mystery_knob"),
+)

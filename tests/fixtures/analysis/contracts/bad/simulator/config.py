@@ -1,0 +1,8 @@
+"""Fixture: config consuming a phantom parameter (CON002 at line 7)."""
+
+
+def build(settings):
+    depth = settings["depth"]
+    stages = settings["stages"]
+    l3 = settings["l3_mb"]
+    return depth, stages, l3

@@ -1,0 +1,14 @@
+"""Fixture: design space fully consumed downstream (no CON findings)."""
+
+from repro.designspace.parameters import Parameter
+
+DEPTH = Parameter(
+    name="depth",
+    values=(9, 12, 15),
+    derived={"stages": (3, 4, 5)},
+)
+
+WIDTH = Parameter(
+    name="width",
+    values=(2, 4, 8),
+)

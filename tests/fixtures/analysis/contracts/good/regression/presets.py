@@ -1,0 +1,9 @@
+"""Fixture: model spec over defined predictors only."""
+
+from repro.regression.terms import InteractionTerm, SplineTerm
+
+TERMS = (
+    SplineTerm("depth", knots=4),
+    SplineTerm("width", knots=3),
+    InteractionTerm("depth", "width"),
+)

@@ -1,0 +1,8 @@
+"""Fixture: config consuming exactly the defined parameters."""
+
+
+def build(settings):
+    depth = settings["depth"]
+    stages = settings["stages"]
+    width = settings.get("width", 4)
+    return depth, stages, width

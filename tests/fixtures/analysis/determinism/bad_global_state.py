@@ -1,0 +1,13 @@
+"""Fixture: global RNG state (DET001 fires at lines 7, 8 and 12)."""
+
+import random
+
+import numpy as np
+
+random.seed(1234)
+VALUE = np.random.rand(4)
+
+
+def shuffle_in_place(items):
+    random.shuffle(items)
+    return items

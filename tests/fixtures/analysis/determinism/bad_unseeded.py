@@ -1,0 +1,10 @@
+"""Fixture: unseeded RNG construction (DET002 fires at lines 7-10)."""
+
+import random
+
+import numpy as np
+
+RNG = np.random.default_rng()
+LEGACY = np.random.RandomState()
+STDLIB = random.Random()
+EXPLICIT_NONE = np.random.default_rng(seed=None)

@@ -1,0 +1,13 @@
+"""Fixture: explicitly seeded generators (no determinism findings)."""
+
+import random
+
+import numpy as np
+
+RNG = np.random.default_rng(42)
+LEGACY = np.random.RandomState(7)
+STDLIB = random.Random(2026)
+
+
+def sampler(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,20 @@
+"""Fixture: hygiene violations (HYG001 at 7, HYG002 at 14, HYG003 at 18)."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:  # noqa: E722 (deliberate)
+        return ""
+
+
+def maybe(fn):
+    try:
+        fn()
+    except ValueError:
+        pass
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket

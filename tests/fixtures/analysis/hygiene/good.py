@@ -1,0 +1,14 @@
+"""Fixture: clean error handling (no HYG findings)."""
+
+
+def load(path, default=""):
+    try:
+        return open(path).read()
+    except OSError:
+        return default
+
+
+def collect(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket

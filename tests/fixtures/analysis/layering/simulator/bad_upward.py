@@ -1,0 +1,4 @@
+"""Fixture: simulator reaching upward (LAY001 fires at lines 3 and 4)."""
+
+from repro.studies import search
+import repro.harness.campaign

@@ -1,0 +1,19 @@
+"""Fixture: sanctioned imports only (no LAY findings).
+
+Downward imports are fine; upward ones are allowed behind TYPE_CHECKING
+or inside a function (lazy import).
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.designspace import table1
+from repro.workloads import trace
+
+if TYPE_CHECKING:
+    from repro.studies import common
+
+
+def lazy_search():
+    from repro.studies import search
+
+    return search

@@ -1,0 +1,10 @@
+"""Fixture: unguarded size divisions (NUM002 fires at lines 5 and 10)."""
+
+
+def mean(values):
+    return sum(values) / len(values)
+
+
+def normalize(weights):
+    total = sum(weights)
+    return [w / total for w in weights]

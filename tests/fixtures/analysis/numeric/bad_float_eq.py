@@ -1,0 +1,13 @@
+"""Fixture: exact float comparisons (NUM001 fires at lines 5, 9 and 13)."""
+
+
+def same_ratio(a, b, c, d):
+    return a / b == c / d
+
+
+def is_half(x):
+    return x == 0.5
+
+
+def not_threshold(x):
+    return x != 2.5

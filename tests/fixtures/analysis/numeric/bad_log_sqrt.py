@@ -1,0 +1,13 @@
+"""Fixture: unguarded transcendental domains (NUM003 at lines 9 and 13)."""
+
+import math
+
+import numpy as np
+
+
+def log_response(y):
+    return np.log(y)
+
+
+def stage_delay(depth):
+    return math.sqrt(depth)

@@ -1,0 +1,26 @@
+"""Fixture: guarded numerics (no NUM findings)."""
+
+import math
+
+import numpy as np
+
+
+def mean(values):
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def log_response(y):
+    y = np.asarray(y, dtype=float)
+    if (y <= 0).any():
+        raise ValueError("log requires positive responses")
+    return np.log(y)
+
+
+def close_enough(a, b):
+    return math.isclose(a, b, rel_tol=1e-9)
+
+
+def stage_delay(depth):
+    return math.sqrt(max(depth, 1.0))

@@ -1,0 +1,8 @@
+"""Fixture: bare except (exactly one HYG001 at line 7)."""
+
+
+def read(path):
+    try:
+        return open(path).read()
+    except:  # noqa: E722 (deliberate)
+        return None

@@ -1,0 +1,5 @@
+"""Fixture: global seeding (exactly one DET001 at line 5)."""
+
+import numpy as np
+
+np.random.seed(7)

@@ -1,0 +1,3 @@
+"""Fixture: upward simulator -> studies import (one LAY001 at line 3)."""
+
+from repro.studies import search

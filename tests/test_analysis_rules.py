@@ -1,0 +1,236 @@
+"""Per-rule tests for the static analyzer.
+
+Each rule family has known-good and known-bad fixture snippets under
+``tests/fixtures/analysis/``; the tests assert the *exact* rule ids and
+line numbers that fire (and that the good snippets stay silent).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    Severity,
+    all_rules,
+    analyze_paths,
+    get_rule,
+    render_json,
+    render_text,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+
+
+def run(subdir, **kwargs):
+    root = FIXTURES / subdir
+    return analyze_paths([root], root=root, **kwargs)
+
+
+def hits(report):
+    return [(f.rule, f.path, f.line) for f in report.findings]
+
+
+class TestDeterminism:
+    def test_bad_fixtures_fire_exactly(self):
+        assert hits(run("determinism")) == [
+            ("DET001", "bad_global_state.py", 7),
+            ("DET001", "bad_global_state.py", 8),
+            ("DET001", "bad_global_state.py", 12),
+            ("DET002", "bad_unseeded.py", 7),
+            ("DET002", "bad_unseeded.py", 8),
+            ("DET002", "bad_unseeded.py", 9),
+            ("DET002", "bad_unseeded.py", 10),
+        ]
+
+    def test_good_fixture_is_silent(self):
+        report = run("determinism")
+        assert not [f for f in report.findings if f.path == "good.py"]
+
+    def test_test_code_is_exempt(self, tmp_path):
+        test_file = tmp_path / "test_sampler.py"
+        test_file.write_text(
+            '"""Doc."""\n\nimport numpy as np\n\nnp.random.seed(1)\n'
+        )
+        report = analyze_paths([tmp_path], root=tmp_path)
+        assert report.findings == []
+
+
+class TestNumeric:
+    def test_bad_fixtures_fire_exactly(self):
+        assert hits(run("numeric")) == [
+            ("NUM002", "bad_division.py", 5),
+            ("NUM002", "bad_division.py", 10),
+            ("NUM001", "bad_float_eq.py", 5),
+            ("NUM001", "bad_float_eq.py", 9),
+            ("NUM001", "bad_float_eq.py", 13),
+            ("NUM003", "bad_log_sqrt.py", 9),
+            ("NUM003", "bad_log_sqrt.py", 13),
+        ]
+
+    def test_guarded_code_is_silent(self):
+        report = run("numeric")
+        assert not [f for f in report.findings if f.path == "good.py"]
+
+
+class TestLayering:
+    def test_upward_imports_fire_exactly(self):
+        assert hits(run("layering")) == [
+            ("LAY001", "simulator/bad_upward.py", 3),
+            ("LAY001", "simulator/bad_upward.py", 4),
+        ]
+
+    def test_type_checking_and_lazy_imports_are_exempt(self):
+        report = run("layering")
+        assert not [
+            f for f in report.findings if "good_downward" in f.path
+        ]
+
+
+class TestContracts:
+    def test_dead_phantom_and_unknown_fire_exactly(self):
+        assert hits(run("contracts/bad")) == [
+            ("CON001", "designspace/table1.py", 12),
+            ("CON003", "regression/presets.py", 7),
+            ("CON002", "simulator/config.py", 7),
+        ]
+
+    def test_consistent_tree_is_silent(self):
+        assert hits(run("contracts/good")) == []
+
+    def test_contract_rules_skip_partial_trees(self):
+        # Only the regression side present: no design space to check against.
+        root = FIXTURES / "contracts" / "bad" / "regression"
+        report = analyze_paths([root], root=root)
+        assert [f for f in report.findings if f.rule.startswith("CON")] == []
+
+
+class TestHygiene:
+    def test_bad_fixture_fires_exactly(self):
+        assert hits(run("hygiene")) == [
+            ("HYG001", "bad.py", 7),
+            ("HYG002", "bad.py", 14),
+            ("HYG003", "bad.py", 18),
+        ]
+
+    def test_good_fixture_is_silent(self):
+        report = run("hygiene")
+        assert not [f for f in report.findings if f.path == "good.py"]
+
+
+class TestAcceptanceTriple:
+    def test_seeded_violations_yield_exactly_three_findings(self):
+        """The ISSUE acceptance check: one DET001, one LAY001, one HYG001."""
+        assert hits(run("triple")) == [
+            ("HYG001", "cache.py", 7),
+            ("DET001", "seeding.py", 5),
+            ("LAY001", "simulator/timing.py", 3),
+        ]
+
+
+class TestBaseline:
+    def test_baseline_suppresses_matching_findings(self):
+        report = run("triple")
+        entry = BaselineEntry(
+            rule="HYG001",
+            path="cache.py",
+            context="except:  # noqa: E722 (deliberate)",
+            reason="fixture",
+        )
+        filtered = run("triple", baseline=Baseline(entries=[entry]))
+        assert len(filtered.findings) == len(report.findings) - 1
+        assert [f for f, _ in filtered.suppressed][0].rule == "HYG001"
+        assert filtered.stale_baseline == []
+
+    def test_stale_entries_are_reported(self):
+        entry = BaselineEntry(
+            rule="DET001", path="no_such.py", context="", reason="gone"
+        )
+        report = run("triple", baseline=Baseline(entries=[entry]))
+        assert report.stale_baseline == [entry]
+        assert report.exit_code(strict=True) == 1
+
+    def test_unselected_rules_do_not_age_entries_stale(self):
+        # A baseline entry for DET001 must not be "stale" when only
+        # HYG001 ran — the rule that could match it never executed.
+        entry = BaselineEntry(
+            rule="DET001",
+            path="seeding.py",
+            context="np.random.seed(7)",
+            reason="fixture",
+        )
+        report = run("triple", rules=["HYG001"], baseline=Baseline(entries=[entry]))
+        assert report.stale_baseline == []
+        assert report.suppressed == []
+
+    def test_roundtrip_through_file(self, tmp_path):
+        report = run("triple")
+        baseline = Baseline.from_findings(report.findings, reason="accepted")
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        reloaded = Baseline.load(path)
+        assert len(reloaded.entries) == 3
+        clean = run("triple", baseline=reloaded)
+        assert clean.findings == []
+        assert clean.exit_code(strict=True) == 0
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"entries": [{"path": "x.py"}]}')
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == []
+
+
+class TestRunnerAndReporting:
+    def test_exit_codes_by_severity(self):
+        report = run("numeric")  # warnings only
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+        errors = run("hygiene")  # contains an error (HYG001)
+        assert errors.exit_code() == 1
+
+    def test_rule_selection(self):
+        report = run("hygiene", rules=["HYG001"])
+        assert [f.rule for f in report.findings] == ["HYG001"]
+        with pytest.raises(KeyError):
+            run("hygiene", rules=["NOPE999"])
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        report = analyze_paths([tmp_path], root=tmp_path)
+        assert [f.rule for f in report.findings] == ["PARSE"]
+        assert report.findings[0].severity is Severity.ERROR
+
+    def test_renderers_cover_findings(self):
+        report = run("triple")
+        text = render_text(report)
+        assert "seeding.py:5" in text and "DET001" in text
+        assert "3 findings" in text
+        import json
+
+        payload = json.loads(render_json(report))
+        assert payload["summary"]["error"] == 3
+        assert {f["rule"] for f in payload["findings"]} == {
+            "DET001", "LAY001", "HYG001",
+        }
+
+    def test_registry_is_complete_and_documented(self):
+        rules = all_rules()
+        ids = [rule.id for rule in rules]
+        assert ids == sorted(ids)
+        expected = {
+            "DET001", "DET002", "NUM001", "NUM002", "NUM003",
+            "LAY001", "CON001", "CON002", "CON003",
+            "HYG001", "HYG002", "HYG003",
+        }
+        assert set(ids) == expected
+        for rule in rules:
+            assert rule.description, rule.id
+            assert rule.scope in ("module", "project"), rule.id
+        assert get_rule("LAY001").severity is Severity.ERROR

@@ -15,6 +15,7 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.analysis",
     "repro.designspace",
     "repro.workloads",
     "repro.simulator",

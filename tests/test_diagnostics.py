@@ -21,7 +21,8 @@ class TestRanks:
         assert rank_data(np.array([30.0, 10.0, 20.0])).tolist() == [3.0, 1.0, 2.0]
 
     def test_tied_midranks(self):
-        assert rank_data(np.array([1.0, 2.0, 2.0, 3.0])).tolist() == [1.0, 2.5, 2.5, 4.0]
+        ranks = rank_data(np.array([1.0, 2.0, 2.0, 3.0]))
+        assert ranks.tolist() == [1.0, 2.5, 2.5, 4.0]
 
     def test_all_tied(self):
         assert rank_data(np.full(4, 7.0)).tolist() == [2.5] * 4

@@ -121,7 +121,9 @@ class TestResourceSensitivity:
 class TestDepthEffects:
     def test_deeper_pipeline_needs_more_cycles(self, gzip_trace):
         deep = cycles_of(gzip_trace, baseline_config().with_overrides(depth_fo4=12.0))
-        shallow = cycles_of(gzip_trace, baseline_config().with_overrides(depth_fo4=30.0))
+        shallow = cycles_of(
+            gzip_trace, baseline_config().with_overrides(depth_fo4=30.0)
+        )
         assert deep > shallow
 
     def test_mispredict_penalty_grows_with_depth(self):
@@ -130,7 +132,8 @@ class TestDepthEffects:
         trace = generate_trace(get_profile("gcc"), 2000, seed=9)
         deep = run_pipeline(trace, baseline_config().with_overrides(depth_fo4=12.0))
         shallow = run_pipeline(trace, baseline_config().with_overrides(depth_fo4=30.0))
-        assert deep.counts.mispredicts == shallow.counts.mispredicts  # same predictor path
+        # same predictor path on both configurations
+        assert deep.counts.mispredicts == shallow.counts.mispredicts
         assert deep.cycles > shallow.cycles
 
 

@@ -82,7 +82,9 @@ class TestStructurePowers:
 
     def test_clock_power_depth_sensitivity(self):
         deep = structures.clock_power(baseline_config().with_overrides(depth_fo4=12.0))
-        shallow = structures.clock_power(baseline_config().with_overrides(depth_fo4=30.0))
+        shallow = structures.clock_power(
+            baseline_config().with_overrides(depth_fo4=30.0)
+        )
         assert deep > 2 * shallow
 
     def test_regfile_power_grows_with_width(self, baseline_result):

@@ -5,7 +5,13 @@ import dataclasses
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.workloads import BENCHMARK_NAMES, SUITE, ProfileError, get_profile, suite_profiles
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    SUITE,
+    ProfileError,
+    get_profile,
+    suite_profiles,
+)
 from repro.workloads.profile import reuse_survival, validate_strata
 
 

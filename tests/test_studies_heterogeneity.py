@@ -52,7 +52,11 @@ class TestClustering:
         # zero weight on everything but L2 clusters purely by cache size
         clustering = heterogeneity.cluster_architectures(
             ctx, 2,
-            weights={name: 0.0 for name in ctx.exploration_space.names if name != "l2_mb"},
+            weights={
+                name: 0.0
+                for name in ctx.exploration_space.names
+                if name != "l2_mb"
+            },
         )
         l2_by_cluster = [
             {optimum_l2 for optimum_l2 in

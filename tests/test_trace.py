@@ -66,7 +66,9 @@ class TestValidation:
     def test_rejects_memory_op_without_reuse(self):
         with pytest.raises(TraceError, match="reuse"):
             make_trace(
-                data_reuse=np.array([NO_DATA, NO_DATA, NO_DATA, NO_DATA], dtype=np.int64)
+                data_reuse=np.array(
+                    [NO_DATA, NO_DATA, NO_DATA, NO_DATA], dtype=np.int64
+                )
             )
 
     def test_rejects_reuse_on_non_memory_op(self):

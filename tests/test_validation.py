@@ -87,7 +87,8 @@ class TestBoxplotStats:
         assert stats.n == len(values)
         # every outlier lies beyond the 1.5-IQR band
         for outlier in stats.outliers:
-            assert outlier < stats.q1 - 1.5 * stats.iqr or outlier > stats.q3 + 1.5 * stats.iqr
+            low, high = stats.q1 - 1.5 * stats.iqr, stats.q3 + 1.5 * stats.iqr
+            assert outlier < low or outlier > high
 
 
 class TestModelValidation:
