@@ -54,6 +54,32 @@ def build_parser() -> argparse.ArgumentParser:
     info_parser = subparsers.add_parser("info", help="environment summary")
     info_parser.set_defaults(func=_cmd_info)
 
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="blockwise exhaustive prediction sweep of the exploration space",
+    )
+    sweep_parser.add_argument(
+        "--scale", choices=sorted(PRESETS), default=None,
+        help="scale preset (default: REPRO_SCALE or 'default')",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel sweep workers (and campaign simulation workers)",
+    )
+    sweep_parser.add_argument(
+        "--block-size", type=int, default=None,
+        help="design points predicted per block (default 8192)",
+    )
+    sweep_parser.add_argument(
+        "--bins", type=int, default=50,
+        help="delay bins for the pareto frontier (default 50)",
+    )
+    sweep_parser.add_argument(
+        "--benchmarks", nargs="*", default=None,
+        help="restrict to these benchmarks (default: the full suite)",
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
     analyze_parser = subparsers.add_parser(
         "analyze", help="run the repo's static-analysis rules"
     )
@@ -220,6 +246,61 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     else:
         print(render_text(report))
     return report.exit_code(strict=args.strict)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Sweep the exploration set per benchmark, printing reductions.
+
+    For every benchmark the streaming engine folds one pass into the
+    pareto-frontier and efficiency-argmax reducers, then prints the
+    frontier size, the bips^3/w-optimal design, and throughput.
+    """
+    from .harness import ParetoFrontierReducer, TopKReducer, render_design_point
+    from .harness.sweep import run_sweep
+
+    scale = get_scale(args.scale)
+    ctx = shared_context(scale, workers=args.workers)
+    benchmarks = args.benchmarks or list(ctx.benchmarks)
+    unknown = [b for b in benchmarks if b not in ctx.benchmarks]
+    if unknown:
+        print(f"unknown benchmarks: {unknown}", file=sys.stderr)
+        print(f"choices: {', '.join(ctx.benchmarks)}", file=sys.stderr)
+        return 2
+
+    source = ctx.exploration_source()
+    kwargs = {}
+    if args.block_size is not None:
+        kwargs["block_size"] = args.block_size
+    print(
+        f"sweeping {len(source):,} designs per benchmark "
+        f"[scale={scale.name}, workers={args.workers}]"
+    )
+    for benchmark in benchmarks:
+        report = run_sweep(
+            ctx.predictor(benchmark),
+            source,
+            [
+                ParetoFrontierReducer(bins=args.bins),
+                TopKReducer(metric="efficiency", k=1),
+            ],
+            workers=args.workers,
+            **kwargs,
+        )
+        front, best = report.results
+        print(f"=== {benchmark} ===")
+        print(
+            f"  frontier: {len(front)} designs across {args.bins} delay bins"
+        )
+        print(f"  bips^3/w optimum: {render_design_point(best.points[0])}")
+        print(
+            f"    bips={best.bips[0]:.3f}  watts={best.watts[0]:.2f}  "
+            f"efficiency={best.efficiency[0]:.4g}"
+        )
+        print(
+            f"  throughput: {report.points_per_second:,.0f} points/s "
+            f"({report.elapsed_seconds * 1e3:.0f} ms)"
+        )
+    return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:

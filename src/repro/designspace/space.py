@@ -89,6 +89,16 @@ class DesignSpace:
     def names(self) -> Tuple[str, ...]:
         return self._names
 
+    @property
+    def radices(self) -> Tuple[int, ...]:
+        """Mixed-radix place values, parallel to :attr:`parameters`.
+
+        ``index = sum(level_i * radices[i])`` — exposed so vectorized
+        consumers (the sweep engine) can decode blocks of indices into
+        per-parameter level arrays without materializing points.
+        """
+        return self._radices
+
     def parameter(self, name: str) -> Parameter:
         """Parameter by name; raises with the valid names listed."""
         try:

@@ -18,6 +18,24 @@ from .figures import (
 )
 from .report import generate_report, write_report
 from .scale import PRESETS, ScaleError, ScalePreset, get_scale
+from .sweep import (
+    BlockPredictor,
+    CollectReducer,
+    GroupedMetricReducer,
+    ParetoFrontierReducer,
+    PointSweepSource,
+    SpaceSweepSource,
+    SweepBlock,
+    SweepError,
+    SweepReducer,
+    SweepReport,
+    SweepSource,
+    TopKReducer,
+    discretized_frontier,
+    pareto_indices,
+    predict_source,
+    run_sweep,
+)
 from .tables import render_design_point, render_table
 
 __all__ = [
@@ -35,6 +53,22 @@ __all__ = [
     "ScaleError",
     "PRESETS",
     "get_scale",
+    "BlockPredictor",
+    "SweepSource",
+    "SpaceSweepSource",
+    "PointSweepSource",
+    "SweepBlock",
+    "SweepReducer",
+    "SweepReport",
+    "SweepError",
+    "ParetoFrontierReducer",
+    "TopKReducer",
+    "GroupedMetricReducer",
+    "CollectReducer",
+    "pareto_indices",
+    "discretized_frontier",
+    "run_sweep",
+    "predict_source",
     "render_table",
     "render_design_point",
     "Series",

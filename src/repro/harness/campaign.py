@@ -11,7 +11,7 @@ its deterministic trace, so results are bit-identical to a serial run).
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -38,6 +38,10 @@ class Campaign:
     validation: Dict[str, Dataset] = field(default_factory=dict)
 
     def dataset(self, benchmark: str, split: str = "train") -> Dataset:
+        if split not in ("train", "validation"):
+            raise ValueError(
+                f"unknown split {split!r}; choices are 'train'/'validation'"
+            )
         table = self.train if split == "train" else self.validation
         try:
             return table[benchmark]
@@ -88,7 +92,9 @@ def run_campaign(
     simulated for every benchmark, as in the paper.
 
     ``workers > 1`` parallelizes over processes (results identical to the
-    serial run); ``progress`` callbacks fire only on the serial path.
+    serial run).  ``progress`` callbacks fire on both paths with the same
+    ``(benchmark, split, done, total)`` stream: per point serially, per
+    completed chunk in parallel.
     """
     scale = scale or get_scale()
     space = space or sampling_space()
@@ -110,10 +116,11 @@ def run_campaign(
     if workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as executor:
             futures = {}
+            chunk_of = {}
             for benchmark in names:
                 for split, split_points in splits:
                     chunks = _chunked(split_points, workers * 2)
-                    futures[(benchmark, split)] = [
+                    jobs = [
                         executor.submit(
                             _simulate_chunk,
                             space,
@@ -126,6 +133,23 @@ def run_campaign(
                         )
                         for chunk in chunks
                     ]
+                    futures[(benchmark, split)] = jobs
+                    for job, chunk in zip(jobs, chunks):
+                        chunk_of[job] = (benchmark, split, len(chunk))
+            if progress is not None:
+                # Fire the same (benchmark, split, done, total) stream as
+                # the serial path, advancing by chunk as futures finish.
+                split_totals = {split: len(pts) for split, pts in splits}
+                done_counts = {key: 0 for key in futures}
+                for job in as_completed(chunk_of):
+                    benchmark, split, count = chunk_of[job]
+                    done_counts[(benchmark, split)] += count
+                    progress(
+                        benchmark,
+                        split,
+                        done_counts[(benchmark, split)],
+                        split_totals[split],
+                    )
             for (benchmark, split), jobs in futures.items():
                 pairs = [pair for job in jobs for pair in job.result()]
                 bips = np.array([p[0] for p in pairs])

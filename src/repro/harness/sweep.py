@@ -1,0 +1,1043 @@
+"""Blockwise exhaustive-sweep engine (the paper's Section 1 promise).
+
+The whole argument of Lee & Brooks is that regression predictions are
+cheap enough to characterize the *entire* 262,500-point exploration space
+exhaustively.  This module delivers that sweep without ever materializing
+the space: design points are visited in fixed-size blocks, each block is
+encoded into predictor columns with vectorized mixed-radix decoding (or
+level-table lookups for explicit point lists), the fitted bips/watts
+models evaluate their design matrices in one batched numpy call per
+block, and *streaming reducers* fold every block into a compact running
+state — the pareto frontier by delay bin, the efficiency argmax/top-k,
+per-depth efficiency distributions — so peak memory stays proportional
+to the block size, not ``|S|``.
+
+Blocks are embarrassingly parallel; ``workers > 1`` fans chunks of
+blocks out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+mirroring ``run_campaign``'s worker model.  Reducers are partition
+independent: results are identical for any block size or worker count,
+and identical to reducing a monolithic whole-space prediction table.
+
+The frontier construction (``pareto_indices`` / ``discretized_frontier``)
+lives here — below the studies layer — so both the streaming engine and
+the Study-1 code share one implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..designspace import DesignPoint, DesignSpace
+from ..designspace.parameters import ParameterError
+from ..metrics import bips3_per_watt, delay_seconds
+from ..regression import FittedModel
+
+#: Default number of design points predicted per block.
+DEFAULT_BLOCK_SIZE = 8192
+
+
+class SweepError(ValueError):
+    """Raised for malformed sweep configurations."""
+
+
+# -- frontier mathematics ------------------------------------------------------
+
+
+def pareto_indices(delay: np.ndarray, power: np.ndarray) -> np.ndarray:
+    """Indices of non-dominated points (minimize delay and power).
+
+    Sort by delay then sweep with a running power minimum: a design is on
+    the frontier iff no faster-or-equal design needs less-or-equal power.
+    """
+    delay = np.asarray(delay, dtype=float)
+    power = np.asarray(power, dtype=float)
+    if delay.shape != power.shape:
+        raise ValueError("delay and power must align")
+    order = np.lexsort((power, delay))  # by delay, ties by power
+    kept = []
+    best_power = np.inf
+    last_delay = None
+    for index in order:
+        if power[index] < best_power:
+            # Strictly better power than anything at least as fast.
+            if last_delay is not None and delay[index] == last_delay:
+                pass  # same delay, higher power was filtered by lexsort
+            kept.append(index)
+            best_power = power[index]
+            last_delay = delay[index]
+    return np.array(sorted(kept), dtype=int)
+
+
+def _binned_power_minima(
+    delay: np.ndarray, power: np.ndarray, edges: np.ndarray
+) -> np.ndarray:
+    """Index of the power-minimizing point within each delay bin.
+
+    Bins are half-open except the last (closed), matching the paper's
+    delay discretization; empty bins are skipped.  Ties resolve to the
+    lowest index, as ``argmin`` does.
+    """
+    bins = edges.size - 1
+    chosen = []
+    for b in range(bins):
+        low, high = edges[b], edges[b + 1]
+        if b == bins - 1:
+            mask = (delay >= low) & (delay <= high)
+        else:
+            mask = (delay >= low) & (delay < high)
+        candidates = np.flatnonzero(mask)
+        if candidates.size:
+            chosen.append(candidates[power[candidates].argmin()])
+    return np.array(chosen, dtype=int)
+
+
+def discretized_frontier(
+    delay: np.ndarray, power: np.ndarray, bins: int = 50
+) -> np.ndarray:
+    """The paper's construction: min-power design per delay bin, pruned.
+
+    The delay range is discretized into ``bins`` targets; within each bin
+    the power-minimizing design is selected, and dominated selections are
+    pruned afterwards.
+    """
+    delay = np.asarray(delay, dtype=float)
+    power = np.asarray(power, dtype=float)
+    if bins < 1:
+        raise ValueError(f"bins must be positive, got {bins}")
+    edges = np.linspace(delay.min(), delay.max(), bins + 1)
+    chosen = _binned_power_minima(delay, power, edges)
+    keep = pareto_indices(delay[chosen], power[chosen])
+    return chosen[keep]
+
+
+def strict_pareto_mask(delay: np.ndarray, power: np.ndarray) -> np.ndarray:
+    """Boolean mask of points not *strictly* dominated in both axes.
+
+    A point is dropped only when some other point has strictly smaller
+    delay *and* strictly smaller power.  Weakly dominated points (ties in
+    either axis) are retained, which is exactly the invariant the
+    streaming frontier reducer needs: every design that
+    :func:`discretized_frontier` can emit for the full set survives this
+    filter (see :class:`ParetoFrontierReducer`).
+    """
+    delay = np.asarray(delay, dtype=float)
+    power = np.asarray(power, dtype=float)
+    if delay.shape != power.shape:
+        raise ValueError("delay and power must align")
+    n = delay.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    order = np.argsort(delay, kind="stable")
+    sorted_delay = delay[order]
+    sorted_power = power[order]
+    prefix_min = np.minimum.accumulate(sorted_power)
+    # For each point, the best power among *strictly* smaller delays:
+    # the prefix minimum just before its delay-group starts.
+    first_of_group = np.searchsorted(sorted_delay, sorted_delay, side="left")
+    best_before = np.where(
+        first_of_group > 0,
+        prefix_min[np.maximum(first_of_group - 1, 0)],
+        np.inf,
+    )
+    keep_sorted = sorted_power <= best_before
+    mask = np.zeros(n, dtype=bool)
+    mask[order[keep_sorted]] = True
+    return mask
+
+
+# -- point sources -------------------------------------------------------------
+
+
+class SweepSource:
+    """An ordered, block-addressable set of design points.
+
+    Subclasses expose encoded predictor columns and raw parameter columns
+    per block plus point materialization by sweep position, so reducers
+    can resolve the (few) designs they keep without the engine ever
+    holding the full point list.
+    """
+
+    space: DesignSpace
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def feature_block(self, start: int, stop: int) -> Dict[str, np.ndarray]:
+        """Encoded predictor columns for sweep positions [start, stop)."""
+        raise NotImplementedError
+
+    def column_block(self, name: str, start: int, stop: int) -> np.ndarray:
+        """Raw (un-encoded) values of one parameter over [start, stop)."""
+        raise NotImplementedError
+
+    def level_block(self, start: int, stop: int) -> Optional[np.ndarray]:
+        """Per-parameter grid level indices over [start, stop), or None.
+
+        An ``(n, P)`` integer matrix enables the predictor's level-table
+        gather fast path; sources that cannot provide it return None and
+        blocks fall back to :meth:`feature_block` evaluation.
+        """
+        return None
+
+    def point_at(self, position: int) -> DesignPoint:
+        """The design point at one sweep position."""
+        raise NotImplementedError
+
+    def slice(self, start: int, stop: int) -> "SweepSource":
+        """A standalone source covering positions [start, stop)."""
+        raise NotImplementedError
+
+
+def _encoded_level_tables(space: DesignSpace) -> List[np.ndarray]:
+    """Per-parameter lookup table: level index -> encoded coordinate.
+
+    Built with :meth:`Parameter.encode` so lookups are bitwise identical
+    to :class:`~repro.designspace.DesignEncoder`.
+    """
+    return [
+        np.array([parameter.encode(value) for value in parameter.values])
+        for parameter in space.parameters
+    ]
+
+
+def _raw_level_tables(space: DesignSpace) -> List[np.ndarray]:
+    return [
+        np.array(parameter.values, dtype=float)
+        for parameter in space.parameters
+    ]
+
+
+class SpaceSweepSource(SweepSource):
+    """Sweep a :class:`DesignSpace` (or an index subset) by mixed radix.
+
+    Blocks decode integer indices directly into per-parameter level
+    arrays — no :class:`DesignPoint` objects are created — which makes
+    full-space enumeration at paper scale (262,500 designs) both fast and
+    memory-flat.
+    """
+
+    def __init__(self, space: DesignSpace, indices: Optional[np.ndarray] = None):
+        self.space = space
+        if indices is None:
+            self._indices = None
+            self._length = len(space)
+        else:
+            indices = np.asarray(indices, dtype=np.int64)
+            if indices.ndim != 1:
+                raise SweepError("indices must be one-dimensional")
+            if indices.size and (
+                indices.min() < 0 or indices.max() >= len(space)
+            ):
+                raise SweepError(
+                    f"indices out of range for |S|={len(space)}"
+                )
+            self._indices = indices
+            self._length = int(indices.size)
+        self._radices = np.array(space.radices, dtype=np.int64)
+        self._cardinalities = np.array(
+            [p.cardinality for p in space.parameters], dtype=np.int64
+        )
+        self._encoded = _encoded_level_tables(space)
+        self._raw = _raw_level_tables(space)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def _index_block(self, start: int, stop: int) -> np.ndarray:
+        if self._indices is None:
+            return np.arange(start, stop, dtype=np.int64)
+        return self._indices[start:stop]
+
+    def _level_block(self, j: int, start: int, stop: int) -> np.ndarray:
+        indices = self._index_block(start, stop)
+        return (indices // self._radices[j]) % self._cardinalities[j]
+
+    def feature_block(self, start: int, stop: int) -> Dict[str, np.ndarray]:
+        return {
+            name: self._encoded[j][self._level_block(j, start, stop)]
+            for j, name in enumerate(self.space.names)
+        }
+
+    def column_block(self, name: str, start: int, stop: int) -> np.ndarray:
+        j = self.space.names.index(name)
+        return self._raw[j][self._level_block(j, start, stop)]
+
+    def level_block(self, start: int, stop: int) -> np.ndarray:
+        return np.column_stack(
+            [
+                self._level_block(j, start, stop)
+                for j in range(len(self.space.names))
+            ]
+        )
+
+    def point_at(self, position: int) -> DesignPoint:
+        if self._indices is None:
+            return self.space.point_at(int(position))
+        return self.space.point_at(int(self._indices[position]))
+
+    def slice(self, start: int, stop: int) -> "SpaceSweepSource":
+        return SpaceSweepSource(self.space, self._index_block(start, stop))
+
+
+class PointSweepSource(SweepSource):
+    """Sweep an explicit point list (e.g. a UAR exploration subsample).
+
+    The raw and encoded matrices are built once, lazily, with per-column
+    level-table lookups — the encoded coordinates are bitwise identical
+    to per-point :class:`~repro.designspace.DesignEncoder` output, but
+    the build is vectorized over the whole list.  Points must lie on the
+    space's grid (as :class:`DesignEncoder` also requires).
+    """
+
+    def __init__(self, space: DesignSpace, points: Sequence[DesignPoint]):
+        self.space = space
+        self.points = list(points)
+        if self.points and tuple(self.points[0].names) != space.names:
+            raise ParameterError(
+                f"point parameters {self.points[0].names} do not match "
+                f"space {space.names}"
+            )
+        self._raw_matrix: Optional[np.ndarray] = None
+        self._encoded_matrix: Optional[np.ndarray] = None
+        self._level_matrix: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def _raw(self) -> np.ndarray:
+        if self._raw_matrix is None:
+            if not self.points:
+                width = len(self.space.names)
+                self._raw_matrix = np.empty((0, width))
+            else:
+                self._raw_matrix = np.array(
+                    [point.values for point in self.points], dtype=float
+                )
+        return self._raw_matrix
+
+    def _encoded(self) -> np.ndarray:
+        if self._encoded_matrix is None:
+            raw = self._raw()
+            columns = []
+            level_columns = []
+            encoded_tables = _encoded_level_tables(self.space)
+            raw_tables = _raw_level_tables(self.space)
+            for j, parameter in enumerate(self.space.parameters):
+                levels = raw_tables[j]
+                positions = np.searchsorted(levels, raw[:, j])
+                positions = np.minimum(positions, levels.size - 1)
+                if raw.shape[0] and not np.array_equal(
+                    levels[positions], raw[:, j]
+                ):
+                    bad = raw[:, j][levels[positions] != raw[:, j]][0]
+                    raise ParameterError(
+                        f"{bad!r} is not a level of parameter "
+                        f"{parameter.name!r}; levels are {parameter.values}"
+                    )
+                columns.append(encoded_tables[j][positions])
+                level_columns.append(positions.astype(np.int64))
+            self._encoded_matrix = (
+                np.column_stack(columns)
+                if columns
+                else np.empty((len(self.points), 0))
+            )
+            self._level_matrix = (
+                np.column_stack(level_columns)
+                if level_columns
+                else np.empty((len(self.points), 0), dtype=np.int64)
+            )
+        return self._encoded_matrix
+
+    def _levels(self) -> np.ndarray:
+        if self._level_matrix is None:
+            self._encoded()
+        return self._level_matrix
+
+    def feature_block(self, start: int, stop: int) -> Dict[str, np.ndarray]:
+        encoded = self._encoded()
+        return {
+            name: encoded[start:stop, j]
+            for j, name in enumerate(self.space.names)
+        }
+
+    def column_block(self, name: str, start: int, stop: int) -> np.ndarray:
+        j = self.space.names.index(name)
+        return self._raw()[start:stop, j]
+
+    def level_block(self, start: int, stop: int) -> np.ndarray:
+        return self._levels()[start:stop]
+
+    def point_at(self, position: int) -> DesignPoint:
+        return self.points[position]
+
+    def slice(self, start: int, stop: int) -> "PointSweepSource":
+        return PointSweepSource(self.space, self.points[start:stop])
+
+
+# -- prediction ---------------------------------------------------------------
+
+
+class _LevelDesignCache:
+    """Gather tables mapping grid level indices to design-matrix columns.
+
+    Every predictor takes a handful of grid levels, so each bound term's
+    design columns — which depend only on the term's one or two
+    predictors — are precomputed on the encoded level values (or the
+    level cross product) once per model.  Block design matrices then
+    assemble by integer gather instead of re-evaluating spline bases per
+    row.  Results are bitwise identical to row-wise evaluation: the same
+    elementwise operations run on the same encoded values, only once per
+    level instead of once per design.
+    """
+
+    def __init__(self, model: FittedModel, space: DesignSpace):
+        self.model = model
+        names = list(space.names)
+        encoded = _encoded_level_tables(space)
+        self._plans: List[tuple] = []
+        self.supported = True
+        for term in model.bound_terms:
+            try:
+                predictors = term.predictors
+            except NotImplementedError:
+                predictors = None
+            if (
+                predictors is not None
+                and len(predictors) == 1
+                and predictors[0] in names
+            ):
+                j = names.index(predictors[0])
+                table = term.design_columns({predictors[0]: encoded[j]})
+                self._plans.append(("one", j, table))
+            elif (
+                predictors is not None
+                and len(predictors) == 2
+                and all(p in names for p in predictors)
+            ):
+                ja = names.index(predictors[0])
+                jb = names.index(predictors[1])
+                va, vb = encoded[ja], encoded[jb]
+                table = term.design_columns(
+                    {
+                        predictors[0]: np.repeat(va, vb.size),
+                        predictors[1]: np.tile(vb, va.size),
+                    }
+                )
+                self._plans.append(("pair", (ja, jb, vb.size), table))
+            else:
+                self.supported = False
+                break
+
+    def predict(self, levels: np.ndarray) -> np.ndarray:
+        """Predictions for an ``(n, P)`` block of level indices."""
+        n = levels.shape[0]
+        blocks = [np.ones((n, 1))]
+        for kind, key, table in self._plans:
+            if kind == "one":
+                blocks.append(table[levels[:, key]])
+            else:
+                ja, jb, nb = key
+                blocks.append(table[levels[:, ja] * nb + levels[:, jb]])
+        X = np.hstack(blocks)
+        return self.model.spec.transform.inverse(X @ self.model.coefficients)
+
+
+@dataclass
+class BlockPredictor:
+    """One benchmark's fitted bips/watts models, evaluated blockwise."""
+
+    benchmark: str
+    bips_model: FittedModel
+    watts_model: FittedModel
+    ref_instructions: float
+
+    def predict(
+        self, features: Dict[str, np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(bips, watts) for one block of encoded predictor columns."""
+        return (
+            self.bips_model.predict(features),
+            self.watts_model.predict(features),
+        )
+
+    def _level_caches(
+        self, space: DesignSpace
+    ) -> Optional[Tuple[_LevelDesignCache, _LevelDesignCache]]:
+        """Per-space gather tables, built lazily (e.g. once per worker)."""
+        cached = self.__dict__.get("_caches")
+        if cached is None or cached[0] is not space:
+            bips = _LevelDesignCache(self.bips_model, space)
+            watts = _LevelDesignCache(self.watts_model, space)
+            if not (bips.supported and watts.supported):
+                cached = (space, None)
+            else:
+                cached = (space, (bips, watts))
+            self.__dict__["_caches"] = cached
+        return cached[1]
+
+    def predict_levels(
+        self, levels: np.ndarray, space: DesignSpace
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """(bips, watts) for a block of level indices, or None.
+
+        Returns None when some term cannot be gathered from level tables
+        (the engine then falls back to encoded-feature evaluation).
+        """
+        caches = self._level_caches(space)
+        if caches is None:
+            return None
+        bips_cache, watts_cache = caches
+        return bips_cache.predict(levels), watts_cache.predict(levels)
+
+
+@dataclass
+class SweepBlock:
+    """Predictions for one contiguous chunk of sweep positions."""
+
+    benchmark: str
+    indices: np.ndarray      #: sweep positions (global, ascending)
+    bips: np.ndarray
+    watts: np.ndarray
+    delay: np.ndarray
+    efficiency: np.ndarray
+    raw: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def metric(self, name: str) -> np.ndarray:
+        """One of the four predicted metric columns by name."""
+        try:
+            return {
+                "bips": self.bips,
+                "watts": self.watts,
+                "delay": self.delay,
+                "efficiency": self.efficiency,
+            }[name]
+        except KeyError:
+            raise SweepError(
+                f"unknown sweep metric {name!r}; choices are "
+                "bips/watts/delay/efficiency"
+            ) from None
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+
+# -- streaming reducers --------------------------------------------------------
+
+
+class SweepReducer:
+    """Folds prediction blocks into a compact running state.
+
+    Reducers must be *partition independent*: feeding the same points in
+    any block decomposition (including one monolithic block) yields the
+    same finalized result.  ``columns`` names the raw parameter columns
+    the reducer needs on each block; ``cache_key`` (when not None) lets
+    :class:`~repro.studies.common.StudyContext` memoize finalized results
+    per benchmark and point set.
+    """
+
+    columns: Tuple[str, ...] = ()
+
+    @property
+    def cache_key(self) -> Optional[tuple]:
+        return None
+
+    def update(self, block: SweepBlock) -> None:
+        raise NotImplementedError
+
+    def finalize(self, source: SweepSource):
+        """Finish the reduction, materializing any retained designs."""
+        raise NotImplementedError
+
+
+@dataclass
+class FrontierResult:
+    """Finalized pareto frontier: sweep indices plus their coordinates."""
+
+    indices: np.ndarray
+    points: List[DesignPoint]
+    delay: np.ndarray
+    power: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+
+class ParetoFrontierReducer(SweepReducer):
+    """Streaming pareto-frontier-by-delay-bin (Section 4.2's construction).
+
+    Per block only the strictly-non-dominated (delay, power) candidates
+    are retained — for smooth power/delay surfaces that is a vanishing
+    fraction of the block — together with the running global delay range.
+    Finalization re-runs the paper's min-power-per-delay-bin selection
+    and pareto prune over the candidate set with bin edges spanning the
+    *global* delay range, which provably reproduces
+    ``discretized_frontier`` over the full sweep: any full-set per-bin
+    power minimum that the final prune would keep is never strictly
+    dominated (a strict dominator selects an even better design into an
+    earlier bin, which would prune it), so it survives candidate
+    filtering; and ties break identically because candidates stay in
+    sweep order.
+    """
+
+    def __init__(self, bins: int = 50):
+        if bins < 1:
+            raise SweepError(f"bins must be positive, got {bins}")
+        self.bins = bins
+        self._indices: List[np.ndarray] = []
+        self._delay: List[np.ndarray] = []
+        self._power: List[np.ndarray] = []
+        self._delay_min = np.inf
+        self._delay_max = -np.inf
+
+    @property
+    def cache_key(self) -> tuple:
+        return ("pareto", self.bins)
+
+    def update(self, block: SweepBlock) -> None:
+        if not len(block):
+            return
+        delay, power = block.delay, block.watts
+        self._delay_min = min(self._delay_min, float(delay.min()))
+        self._delay_max = max(self._delay_max, float(delay.max()))
+        keep = strict_pareto_mask(delay, power)
+        self._indices.append(block.indices[keep])
+        self._delay.append(delay[keep])
+        self._power.append(power[keep])
+
+    def finalize(self, source: SweepSource) -> FrontierResult:
+        if not self._indices:
+            empty = np.array([], dtype=float)
+            return FrontierResult(
+                indices=np.array([], dtype=int),
+                points=[],
+                delay=empty,
+                power=empty,
+            )
+        indices = np.concatenate(self._indices)
+        delay = np.concatenate(self._delay)
+        power = np.concatenate(self._power)
+        edges = np.linspace(self._delay_min, self._delay_max, self.bins + 1)
+        chosen = _binned_power_minima(delay, power, edges)
+        keep = pareto_indices(delay[chosen], power[chosen])
+        final = chosen[keep]
+        return FrontierResult(
+            indices=indices[final],
+            points=[source.point_at(int(i)) for i in indices[final]],
+            delay=delay[final],
+            power=power[final],
+        )
+
+
+@dataclass
+class TopKResult:
+    """Finalized argmax/top-k: the best designs with all four metrics."""
+
+    metric: str
+    indices: np.ndarray
+    points: List[DesignPoint]
+    values: np.ndarray
+    bips: np.ndarray
+    watts: np.ndarray
+    delay: np.ndarray
+    efficiency: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+
+class TopKReducer(SweepReducer):
+    """Streaming per-benchmark argmax / top-k of one predicted metric.
+
+    ``k=1`` reproduces ``table.<metric>.argmax()`` over a monolithic
+    prediction table exactly, including first-occurrence tie-breaking
+    (candidates are ordered by value descending, then sweep index
+    ascending).
+    """
+
+    _FIELDS = ("values", "bips", "watts", "delay", "efficiency")
+
+    def __init__(self, metric: str = "efficiency", k: int = 1):
+        if k < 1:
+            raise SweepError(f"k must be positive, got {k}")
+        self.metric = metric
+        self.k = k
+        self._indices = np.array([], dtype=np.int64)
+        self._state = {name: np.array([], dtype=float) for name in self._FIELDS}
+
+    @property
+    def cache_key(self) -> tuple:
+        return ("topk", self.metric, self.k)
+
+    def update(self, block: SweepBlock) -> None:
+        if not len(block):
+            return
+        values = block.metric(self.metric)
+        merged = {
+            "values": np.concatenate([self._state["values"], values]),
+            "bips": np.concatenate([self._state["bips"], block.bips]),
+            "watts": np.concatenate([self._state["watts"], block.watts]),
+            "delay": np.concatenate([self._state["delay"], block.delay]),
+            "efficiency": np.concatenate(
+                [self._state["efficiency"], block.efficiency]
+            ),
+        }
+        indices = np.concatenate([self._indices, block.indices])
+        # Highest value first; ties resolve to the lowest sweep index,
+        # matching argmax over a whole-space table.
+        order = np.lexsort((indices, -merged["values"]))[: self.k]
+        self._indices = indices[order]
+        self._state = {name: merged[name][order] for name in self._FIELDS}
+
+    def finalize(self, source: SweepSource) -> TopKResult:
+        return TopKResult(
+            metric=self.metric,
+            indices=self._indices.copy(),
+            points=[source.point_at(int(i)) for i in self._indices],
+            values=self._state["values"].copy(),
+            bips=self._state["bips"].copy(),
+            watts=self._state["watts"].copy(),
+            delay=self._state["delay"].copy(),
+            efficiency=self._state["efficiency"].copy(),
+        )
+
+
+@dataclass
+class GroupedResult:
+    """Finalized per-level reduction of one metric along one parameter."""
+
+    parameter: str
+    metric: str
+    values: Dict[float, np.ndarray]       #: per level, in sweep order
+    argmax_indices: Dict[float, int]      #: sweep position of each level's best
+    argmax_points: Dict[float, DesignPoint]
+    argmax_values: Dict[float, float]
+
+    def levels(self) -> List[float]:
+        return list(self.values)
+
+
+class GroupedMetricReducer(SweepReducer):
+    """Streaming per-depth (or any parameter) metric distributions.
+
+    Keeps, per parameter level, the metric values in sweep order — the
+    exact inputs the depth study's boxplot statistics and exceedance
+    fractions need — plus the running per-level argmax.  Value arrays
+    are floats only, so even the paper-scale stratified sweep stays
+    small; no design points or design matrices are retained.
+    """
+
+    def __init__(self, parameter: str = "depth", metric: str = "efficiency"):
+        self.parameter = parameter
+        self.metric = metric
+        self.columns = (parameter,)
+        self._values: Dict[float, List[np.ndarray]] = {}
+        self._best_value: Dict[float, float] = {}
+        self._best_index: Dict[float, int] = {}
+
+    @property
+    def cache_key(self) -> tuple:
+        return ("grouped", self.parameter, self.metric)
+
+    def update(self, block: SweepBlock) -> None:
+        if not len(block):
+            return
+        levels = block.raw[self.parameter]
+        values = block.metric(self.metric)
+        for level in np.unique(levels):
+            level = float(level)
+            mask = levels == level
+            chunk = values[mask]
+            self._values.setdefault(level, []).append(chunk)
+            local_best = int(chunk.argmax())
+            best = float(chunk[local_best])
+            # Strictly-greater keeps the first occurrence across blocks,
+            # matching argmax over the concatenated whole.
+            if level not in self._best_value or best > self._best_value[level]:
+                self._best_value[level] = best
+                self._best_index[level] = int(
+                    block.indices[np.flatnonzero(mask)[local_best]]
+                )
+
+    def finalize(self, source: SweepSource) -> GroupedResult:
+        levels = sorted(self._values)
+        return GroupedResult(
+            parameter=self.parameter,
+            metric=self.metric,
+            values={
+                level: np.concatenate(self._values[level]) for level in levels
+            },
+            argmax_indices={
+                level: self._best_index[level] for level in levels
+            },
+            argmax_points={
+                level: source.point_at(self._best_index[level])
+                for level in levels
+            },
+            argmax_values={
+                level: self._best_value[level] for level in levels
+            },
+        )
+
+
+@dataclass
+class CollectedColumns:
+    """Finalized full-length metric vectors and raw parameter columns."""
+
+    metrics: Dict[str, np.ndarray]
+    columns: Dict[str, np.ndarray]
+
+    def metric(self, name: str) -> np.ndarray:
+        return self.metrics[name]
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+
+class CollectReducer(SweepReducer):
+    """Accumulates whole-sweep metric vectors (and raw columns).
+
+    The escape hatch for analyses that genuinely need every prediction
+    (Figure 2's characterization scatter, the suite-average percentile
+    cut of Figure 5b): floats only — a paper-scale sweep costs a few MB
+    — while points and design matrices still never accumulate.
+    """
+
+    def __init__(
+        self,
+        metrics: Sequence[str] = ("bips", "watts"),
+        columns: Sequence[str] = (),
+    ):
+        self.metric_names = tuple(metrics)
+        self.columns = tuple(columns)
+        self._metrics: Dict[str, List[np.ndarray]] = {
+            name: [] for name in self.metric_names
+        }
+        self._columns: Dict[str, List[np.ndarray]] = {
+            name: [] for name in self.columns
+        }
+
+    @property
+    def cache_key(self) -> tuple:
+        return ("collect", self.metric_names, self.columns)
+
+    def update(self, block: SweepBlock) -> None:
+        for name in self.metric_names:
+            self._metrics[name].append(block.metric(name))
+        for name in self.columns:
+            self._columns[name].append(block.raw[name])
+
+    def finalize(self, source: SweepSource) -> CollectedColumns:
+        def _concat(chunks: List[np.ndarray]) -> np.ndarray:
+            if not chunks:
+                return np.array([], dtype=float)
+            return np.concatenate(chunks)
+
+        return CollectedColumns(
+            metrics={
+                name: _concat(chunks)
+                for name, chunks in self._metrics.items()
+            },
+            columns={
+                name: _concat(chunks)
+                for name, chunks in self._columns.items()
+            },
+        )
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one sweep: reducer results plus throughput accounting."""
+
+    benchmark: str
+    n_points: int
+    block_size: int
+    workers: int
+    elapsed_seconds: float
+    results: List[object]
+
+    @property
+    def points_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.n_points / self.elapsed_seconds
+
+
+def _block_ranges(total: int, block_size: int) -> List[Tuple[int, int]]:
+    return [
+        (start, min(start + block_size, total))
+        for start in range(0, total, block_size)
+    ]
+
+
+def _evaluate_range(
+    predictor: BlockPredictor,
+    source: SweepSource,
+    start: int,
+    stop: int,
+    columns: Tuple[str, ...],
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
+    """Predict one contiguous range; returns (bips, watts, raw columns).
+
+    Prefers the level-index gather fast path; sources (or models) that
+    cannot provide it fall back to encoded-feature evaluation, which is
+    bitwise identical for the same block decomposition.
+    """
+    pair = None
+    levels = source.level_block(start, stop)
+    if levels is not None:
+        pair = predictor.predict_levels(levels, source.space)
+    if pair is None:
+        features = source.feature_block(start, stop)
+        pair = predictor.predict(features)
+    bips, watts = pair
+    raw = {name: source.column_block(name, start, stop) for name in columns}
+    return bips, watts, raw
+
+
+def _sweep_chunk(
+    predictor: BlockPredictor,
+    chunk: SweepSource,
+    offset: int,
+    block_size: int,
+    columns: Tuple[str, ...],
+) -> List[Tuple[int, np.ndarray, np.ndarray, Dict[str, np.ndarray]]]:
+    """Worker: evaluate one sliced chunk block-by-block.
+
+    Runs in a separate process; the chunk source carries only its own
+    points/indices, so fan-out ships O(chunk) data per task.  Returns
+    ``(global_start, bips, watts, raw)`` per block.
+    """
+    payloads = []
+    for start, stop in _block_ranges(len(chunk), block_size):
+        bips, watts, raw = _evaluate_range(
+            predictor, chunk, start, stop, columns
+        )
+        payloads.append((offset + start, bips, watts, raw))
+    return payloads
+
+
+def _make_block(
+    predictor: BlockPredictor,
+    start: int,
+    bips: np.ndarray,
+    watts: np.ndarray,
+    raw: Dict[str, np.ndarray],
+) -> SweepBlock:
+    return SweepBlock(
+        benchmark=predictor.benchmark,
+        indices=np.arange(start, start + bips.size, dtype=np.int64),
+        bips=bips,
+        watts=watts,
+        delay=delay_seconds(bips, predictor.ref_instructions),
+        efficiency=bips3_per_watt(bips, watts),
+        raw=raw,
+    )
+
+
+def run_sweep(
+    predictor: BlockPredictor,
+    source: SweepSource,
+    reducers: Sequence[SweepReducer],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    workers: int = 1,
+    progress=None,
+) -> SweepReport:
+    """Sweep ``source`` through ``predictor``, folding into ``reducers``.
+
+    Blocks are evaluated in sweep order and every reducer sees every
+    block exactly once; with ``workers > 1`` chunks of blocks evaluate
+    in parallel processes while reduction stays in-process and ordered,
+    so results are identical to a serial run.  ``progress`` (if given)
+    is called as ``progress(benchmark, done_points, total_points)`` after
+    each consumed block or chunk.
+    """
+    if block_size < 1:
+        raise SweepError(f"block_size must be positive, got {block_size}")
+    if workers < 1:
+        raise SweepError(f"workers must be positive, got {workers}")
+    columns: Tuple[str, ...] = tuple(
+        dict.fromkeys(name for r in reducers for name in r.columns)
+    )
+    total = len(source)
+    started = time.perf_counter()
+
+    if workers > 1 and total > block_size:
+        chunk_size = max(
+            block_size, -(-total // (workers * 2))  # ceil division
+        )
+        tasks = []
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            for start, stop in _block_ranges(total, chunk_size):
+                tasks.append(
+                    executor.submit(
+                        _sweep_chunk,
+                        predictor,
+                        source.slice(start, stop),
+                        start,
+                        block_size,
+                        columns,
+                    )
+                )
+            done = 0
+            for task in tasks:
+                for start, bips, watts, raw in task.result():
+                    block = _make_block(predictor, start, bips, watts, raw)
+                    for reducer in reducers:
+                        reducer.update(block)
+                    done += len(block)
+                if progress is not None:
+                    progress(predictor.benchmark, done, total)
+    else:
+        done = 0
+        for start, stop in _block_ranges(total, block_size):
+            bips, watts, raw = _evaluate_range(
+                predictor, source, start, stop, columns
+            )
+            block = _make_block(predictor, start, bips, watts, raw)
+            for reducer in reducers:
+                reducer.update(block)
+            done += len(block)
+            if progress is not None:
+                progress(predictor.benchmark, done, total)
+
+    elapsed = time.perf_counter() - started
+    return SweepReport(
+        benchmark=predictor.benchmark,
+        n_points=total,
+        block_size=block_size,
+        workers=workers,
+        elapsed_seconds=elapsed,
+        results=[reducer.finalize(source) for reducer in reducers],
+    )
+
+
+def predict_source(
+    predictor: BlockPredictor,
+    source: SweepSource,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    workers: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Full (bips, watts) vectors for a source, computed blockwise."""
+    report = run_sweep(
+        predictor,
+        source,
+        [CollectReducer(metrics=("bips", "watts"))],
+        block_size=block_size,
+        workers=workers,
+    )
+    collected = report.results[0]
+    return collected.metric("bips"), collected.metric("watts")

@@ -39,6 +39,11 @@ class BoundTerm:
     #: names of the produced columns, set at bind time
     column_names: Tuple[str, ...] = ()
 
+    @property
+    def predictors(self) -> Tuple[str, ...]:
+        """Predictor names the columns depend on (for gather fast paths)."""
+        raise NotImplementedError
+
     def design_columns(self, data: Columns) -> np.ndarray:
         raise NotImplementedError
 
@@ -76,6 +81,10 @@ class _BoundLinear(BoundTerm):
     def __init__(self, name: str):
         self.name = name
         self.column_names = (name,)
+
+    @property
+    def predictors(self) -> Tuple[str, ...]:
+        return (self.name,)
 
     def design_columns(self, data: Columns) -> np.ndarray:
         return _column(data, self.name)[:, None]
@@ -119,6 +128,10 @@ class _BoundSpline(BoundTerm):
         self.name = name
         self.knots = knots
         self.column_names = rcs_column_names(name, knots.size)
+
+    @property
+    def predictors(self) -> Tuple[str, ...]:
+        return (self.name,)
 
     def design_columns(self, data: Columns) -> np.ndarray:
         return rcs_basis(_column(data, self.name), self.knots)
@@ -169,6 +182,10 @@ class _BoundLinearInteraction(BoundTerm):
         self.a, self.b = a, b
         self.column_names = (f"{a}*{b}",)
 
+    @property
+    def predictors(self) -> Tuple[str, ...]:
+        return (self.a, self.b)
+
     def design_columns(self, data: Columns) -> np.ndarray:
         return (_column(data, self.a) * _column(data, self.b))[:, None]
 
@@ -179,6 +196,10 @@ class _BoundSplineInteraction(BoundTerm):
         self.knots = knots
         base_names = rcs_column_names(a, knots.size)
         self.column_names = tuple(f"{name}*{b}" for name in base_names)
+
+    @property
+    def predictors(self) -> Tuple[str, ...]:
+        return (self.a, self.b)
 
     def design_columns(self, data: Columns) -> np.ndarray:
         basis = rcs_basis(_column(data, self.a), self.knots)

@@ -5,6 +5,15 @@ need: the sampling and exploration spaces, the (cached) simulation
 campaign, the fitted per-benchmark regression models, the exploration
 point sets, and prediction/simulation helpers.  Every study function takes
 a context, so one campaign and one model fit serve all figures.
+
+Prediction runs on the blockwise sweep engine
+(:mod:`repro.harness.sweep`): arbitrary point lists are encoded and
+evaluated in vectorized batches (:meth:`StudyContext.predict_points`),
+while the exploration and per-depth sets can additionally be *swept* —
+folded into streaming reducers block by block
+(:meth:`StudyContext.sweep_exploration`,
+:meth:`StudyContext.sweep_per_depth`) — so full-space studies never hold
+all predictions, points, or design matrices at once.
 """
 
 from __future__ import annotations
@@ -15,7 +24,6 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..designspace import (
-    DesignEncoder,
     DesignPoint,
     DesignSpace,
     exploration_space,
@@ -25,11 +33,20 @@ from ..designspace import (
 )
 from ..harness import Campaign, cached_campaign, fit_campaign_models, get_scale
 from ..harness.scale import ScalePreset
+from ..harness.sweep import (
+    BlockPredictor,
+    PointSweepSource,
+    SpaceSweepSource,
+    SweepReducer,
+    SweepSource,
+    predict_source,
+    run_sweep,
+)
 from ..metrics import bips3_per_watt, delay_seconds
 from ..regression import FittedModel
 from ..simulator import Simulator, baseline_point
 from ..simulator.results import SimulationResult
-from ..workloads import BENCHMARK_NAMES, get_profile
+from ..workloads import BENCHMARK_NAMES, Trace, get_profile
 
 
 @dataclass
@@ -88,10 +105,12 @@ class StudyContext:
         self._refresh = refresh
         self._campaign: Optional[Campaign] = None
         self._models: Optional[Dict[str, Dict[str, FittedModel]]] = None
-        self._encoder = DesignEncoder(self.exploration_space)
         self._exploration_points: Optional[List[DesignPoint]] = None
         self._stratified_points: Dict[str, List[DesignPoint]] = {}
         self._prediction_tables: Dict[tuple, PredictionTable] = {}
+        self._traces: Dict[str, Trace] = {}
+        self._sources: Dict[tuple, SweepSource] = {}
+        self._sweep_results: Dict[tuple, object] = {}
 
     # -- campaign & models -------------------------------------------------
 
@@ -117,6 +136,15 @@ class StudyContext:
     def model(self, benchmark: str, metric: str) -> FittedModel:
         """Fitted model for one benchmark and metric ("bips" or "watts")."""
         return self.models[benchmark][metric]
+
+    def predictor(self, benchmark: str) -> BlockPredictor:
+        """The benchmark's fitted models bundled for the sweep engine."""
+        return BlockPredictor(
+            benchmark=benchmark,
+            bips_model=self.model(benchmark, "bips"),
+            watts_model=self.model(benchmark, "watts"),
+            ref_instructions=get_profile(benchmark).ref_instructions,
+        )
 
     # -- point sets ----------------------------------------------------------
 
@@ -152,6 +180,38 @@ class StudyContext:
             )
         return self._stratified_points[parameter]
 
+    # -- sweep sources -------------------------------------------------------
+
+    def exploration_source(self) -> SweepSource:
+        """Block-addressable exploration set for the sweep engine.
+
+        A full (unsubsampled) exploration sweep enumerates the space by
+        mixed-radix index — no point list is ever materialized — while a
+        scale-limited sweep wraps the memoized UAR subsample so positions
+        match :meth:`exploration_points` (and thus
+        :meth:`predict_exploration` row indices) exactly.
+        """
+        key = ("exploration",)
+        if key not in self._sources:
+            limit = self.scale.exploration_limit
+            space = self.exploration_space
+            if limit is None or limit >= len(space):
+                self._sources[key] = SpaceSweepSource(space)
+            else:
+                self._sources[key] = PointSweepSource(
+                    space, self.exploration_points()
+                )
+        return self._sources[key]
+
+    def per_depth_source(self, parameter: str = "depth") -> SweepSource:
+        """Block-addressable depth-stratified set for the sweep engine."""
+        key = ("per-depth", parameter)
+        if key not in self._sources:
+            self._sources[key] = PointSweepSource(
+                self.exploration_space, self.per_depth_points(parameter)
+            )
+        return self._sources[key]
+
     # -- prediction ----------------------------------------------------------
 
     def predict_points(
@@ -159,25 +219,40 @@ class StudyContext:
     ) -> PredictionTable:
         """Regression-predicted bips and watts for arbitrary points."""
         points = list(points)
-        matrix = self._encoder.encode(points)
-        data = {
-            name: matrix[:, j]
-            for j, name in enumerate(self._encoder.feature_names)
-        }
+        source = PointSweepSource(self.exploration_space, points)
+        bips, watts = predict_source(self.predictor(benchmark), source)
         return PredictionTable(
             benchmark=benchmark,
             points=points,
-            bips=self.model(benchmark, "bips").predict(data),
-            watts=self.model(benchmark, "watts").predict(data),
+            bips=bips,
+            watts=watts,
+            ref_instructions=get_profile(benchmark).ref_instructions,
+        )
+
+    def _predict_source_table(
+        self, benchmark: str, source: SweepSource, points: List[DesignPoint]
+    ) -> PredictionTable:
+        bips, watts = predict_source(self.predictor(benchmark), source)
+        return PredictionTable(
+            benchmark=benchmark,
+            points=points,
+            bips=bips,
+            watts=watts,
             ref_instructions=get_profile(benchmark).ref_instructions,
         )
 
     def predict_exploration(self, benchmark: str) -> PredictionTable:
-        """Predictions over the exploration set (memoized per benchmark)."""
+        """Predictions over the exploration set (memoized per benchmark).
+
+        Materializes a whole-set table — Figure 2's characterization
+        needs one.  Studies that only need reductions (frontier, optima,
+        per-depth histograms) should prefer :meth:`sweep_exploration`,
+        which streams and never builds the table.
+        """
         key = (benchmark, "exploration")
         if key not in self._prediction_tables:
-            self._prediction_tables[key] = self.predict_points(
-                benchmark, self.exploration_points()
+            self._prediction_tables[key] = self._predict_source_table(
+                benchmark, self.exploration_source(), self.exploration_points()
             )
         return self._prediction_tables[key]
 
@@ -185,16 +260,121 @@ class StudyContext:
         """Predictions over the depth-stratified set (memoized)."""
         key = (benchmark, "per-depth")
         if key not in self._prediction_tables:
-            self._prediction_tables[key] = self.predict_points(
-                benchmark, self.per_depth_points()
+            self._prediction_tables[key] = self._predict_source_table(
+                benchmark, self.per_depth_source(), self.per_depth_points()
             )
         return self._prediction_tables[key]
 
+    # -- streaming sweeps ------------------------------------------------------
+
+    def _sweep(
+        self,
+        benchmark: str,
+        set_name: str,
+        source: SweepSource,
+        reducers: Sequence[SweepReducer],
+        workers: Optional[int],
+        block_size: Optional[int],
+    ) -> List[object]:
+        """Run reducers over a source, memoizing cacheable results.
+
+        Reducers exposing a ``cache_key`` are computed at most once per
+        (benchmark, point set); a single engine pass serves all uncached
+        reducers of the call.
+        """
+        def key_of(reducer: SweepReducer) -> Optional[tuple]:
+            if reducer.cache_key is None:
+                return None
+            return (benchmark, set_name, reducer.cache_key)
+
+        pending = [
+            reducer
+            for reducer in reducers
+            if key_of(reducer) is None
+            or key_of(reducer) not in self._sweep_results
+        ]
+        if pending:
+            kwargs = {}
+            if block_size is not None:
+                kwargs["block_size"] = block_size
+            report = run_sweep(
+                self.predictor(benchmark),
+                source,
+                pending,
+                workers=workers or 1,
+                **kwargs,
+            )
+            for reducer, result in zip(pending, report.results):
+                cache_key = key_of(reducer)
+                if cache_key is not None:
+                    self._sweep_results[cache_key] = result
+                else:
+                    self._sweep_results[id(reducer)] = result
+        return [
+            self._sweep_results.pop(id(reducer))
+            if key_of(reducer) is None
+            else self._sweep_results[key_of(reducer)]
+            for reducer in reducers
+        ]
+
+    def sweep_exploration(
+        self,
+        benchmark: str,
+        reducers: Sequence[SweepReducer],
+        workers: Optional[int] = None,
+        block_size: Optional[int] = None,
+    ) -> List[object]:
+        """Fold streaming reducers over the exploration set.
+
+        Returns one finalized result per reducer, identical (by reducer
+        partition independence) to reducing the monolithic
+        :meth:`predict_exploration` table — without building it.
+        """
+        return self._sweep(
+            benchmark,
+            "exploration",
+            self.exploration_source(),
+            reducers,
+            workers,
+            block_size,
+        )
+
+    def sweep_per_depth(
+        self,
+        benchmark: str,
+        reducers: Sequence[SweepReducer],
+        parameter: str = "depth",
+        workers: Optional[int] = None,
+        block_size: Optional[int] = None,
+    ) -> List[object]:
+        """Fold streaming reducers over the depth-stratified set."""
+        return self._sweep(
+            benchmark,
+            f"per-depth:{parameter}",
+            self.per_depth_source(parameter),
+            reducers,
+            workers,
+            block_size,
+        )
+
     # -- simulation -----------------------------------------------------------
+
+    def trace(self, benchmark: str) -> Trace:
+        """The benchmark's synthetic trace at this scale (built once).
+
+        Cached per benchmark on the context, so validating N frontier or
+        depth designs costs one trace build, not N.
+        """
+        if benchmark not in self._traces:
+            self._traces[benchmark] = self.simulator.trace_for(
+                get_profile(benchmark),
+                self.scale.trace_length,
+                seed=self.scale.seed,
+            )
+        return self._traces[benchmark]
 
     def simulate(self, benchmark: str, point: DesignPoint) -> SimulationResult:
         """Ground-truth simulation of one design on one benchmark."""
-        trace = self.simulator.trace_for(
-            get_profile(benchmark), self.scale.trace_length, seed=self.scale.seed
+        return self.simulator.simulate_point(
+            self.exploration_space, point, self.trace(benchmark)
         )
-        return self.simulator.simulate_point(self.exploration_space, point, trace)

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..designspace import DesignPoint
+from ..harness.sweep import CollectReducer, GroupedMetricReducer
 from ..regression.validation import BoxplotStats, boxplot_stats
 from .common import StudyContext
 
@@ -96,13 +97,24 @@ class EnhancedAnalysis:
         return {d: e / best for d, e in self.bound_efficiency.items()}
 
 
+def _per_depth_efficiency(ctx: StudyContext, benchmark: str):
+    """The streaming per-depth efficiency reduction (memoized on the ctx)."""
+    return ctx.sweep_per_depth(
+        benchmark, [GroupedMetricReducer(parameter="depth", metric="efficiency")]
+    )[0]
+
+
 def enhanced_analysis(ctx: StudyContext, benchmark: str) -> EnhancedAnalysis:
-    """Per-depth distributions over the full design space for one benchmark."""
+    """Per-depth distributions over the full design space for one benchmark.
+
+    Runs on the sweep engine's grouped reducer: the stratified set is
+    predicted blockwise and only per-depth efficiency vectors (floats)
+    plus each depth's running argmax are retained — no whole-set
+    prediction table is materialized.
+    """
     original = original_analysis(ctx, benchmark)
     reference = original.optimal_efficiency
-    table = ctx.predict_per_depth(benchmark)
-    depths = np.array([point["depth"] for point in table.points], dtype=float)
-    efficiency = table.efficiency / reference
+    grouped = _per_depth_efficiency(ctx, benchmark)
 
     distributions: Dict[float, BoxplotStats] = {}
     bound_points: Dict[float, DesignPoint] = {}
@@ -110,15 +122,14 @@ def enhanced_analysis(ctx: StudyContext, benchmark: str) -> EnhancedAnalysis:
     exceed: Dict[float, float] = {}
     original_relative = dict(zip(original.depths, original.relative()))
     for depth in depth_levels(ctx):
-        mask = depths == depth
-        values = efficiency[mask]
-        if values.size == 0:
+        if float(depth) not in grouped.values:
             continue
+        values = grouped.values[float(depth)] / reference
         distributions[depth] = boxplot_stats(values)
-        local = np.flatnonzero(mask)
-        best_local = local[values.argmax()]
-        bound_points[depth] = table.points[best_local]
-        bound_efficiency[depth] = float(values.max())
+        bound_points[depth] = grouped.argmax_points[float(depth)]
+        bound_efficiency[depth] = float(
+            grouped.argmax_values[float(depth)] / reference
+        )
         # The paper's "more efficient than baseline" compares against the
         # original (constrained) analysis at the *same* depth — where the
         # line plot intersects the boxplot.
@@ -165,12 +176,10 @@ def suite_depth_summary(ctx: StudyContext) -> SuiteDepthSummary:
         for b in ctx.benchmarks:
             analysis = analyses[b]
             reference = analysis.original.optimal_efficiency
-            table = ctx.predict_per_depth(b)
-            point_depths = np.array(
-                [point["depth"] for point in table.points], dtype=float
-            )
-            mask = point_depths == depth
-            per_bench_values.append(table.efficiency[mask] / reference)
+            grouped = _per_depth_efficiency(ctx, b)
+            # Per-level chunks arrive in sweep order, so the stratified
+            # designs align element-wise across benchmarks.
+            per_bench_values.append(grouped.values[float(depth)] / reference)
         stacked = np.mean(np.vstack(per_bench_values), axis=0)
         pooled[depth] = boxplot_stats(stacked)
         bound_relative[depth] = float(stacked.max())
@@ -198,13 +207,21 @@ def top_percentile_cache_distribution(
         raise ValueError(f"percentile must be in (0, 100), got {percentile}")
     # Suite-average efficiency per stratified design, normalized per
     # benchmark by the original optimum (axis does not matter for ranks).
-    tables = {b: ctx.predict_per_depth(b) for b in ctx.benchmarks}
-    first = tables[ctx.benchmarks[0]]
-    depths = np.array([p["depth"] for p in first.points], dtype=float)
-    dl1 = np.array([p["dl1_kb"] for p in first.points], dtype=float)
+    # The sweep engine collects only the efficiency vector and the two
+    # raw parameter columns the histogram needs.
+    collected = {
+        b: ctx.sweep_per_depth(
+            b,
+            [CollectReducer(metrics=("efficiency",), columns=("depth", "dl1_kb"))],
+        )[0]
+        for b in ctx.benchmarks
+    }
+    first = collected[ctx.benchmarks[0]]
+    depths = first.column("depth")
+    dl1 = first.column("dl1_kb")
     normalized = []
     for b in ctx.benchmarks:
-        efficiency = tables[b].efficiency
+        efficiency = collected[b].metric("efficiency")
         reference = original_analysis(ctx, b).optimal_efficiency
         normalized.append(efficiency / reference)
     average = np.mean(np.vstack(normalized), axis=0)

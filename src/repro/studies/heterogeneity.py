@@ -98,13 +98,21 @@ def cluster_architectures(
 
 
 def annotate_cluster_metrics(ctx: StudyContext, clustering: Clustering) -> None:
-    """Fill each cluster's mean predicted delay/power over its benchmarks."""
-    for cluster in clustering.clusters:
-        delays, powers = [], []
-        for benchmark in cluster.benchmarks:
-            table = ctx.predict_points(benchmark, [cluster.point])
-            delays.append(float(table.delay[0]))
-            powers.append(float(table.watts[0]))
+    """Fill each cluster's mean predicted delay/power over its benchmarks.
+
+    One batched prediction per benchmark covers every cluster point, so
+    the cost is |benchmarks| vectorized calls rather than one per
+    (cluster, benchmark) pair.
+    """
+    clusters = clustering.clusters
+    if not clusters:
+        return
+    points = [cluster.point for cluster in clusters]
+    benchmarks = sorted({b for c in clusters for b in c.benchmarks})
+    tables = {b: ctx.predict_points(b, points) for b in benchmarks}
+    for i, cluster in enumerate(clusters):
+        delays = [float(tables[b].delay[i]) for b in cluster.benchmarks]
+        powers = [float(tables[b].watts[i]) for b in cluster.benchmarks]
         cluster.mean_delay = float(np.mean(delays))
         cluster.mean_power = float(np.mean(powers))
 

@@ -15,9 +15,30 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..designspace import DesignPoint
+from ..harness.sweep import (
+    ParetoFrontierReducer,
+    TopKReducer,
+    discretized_frontier,
+    pareto_indices,
+)
 from ..metrics import bips3_per_watt
 from ..regression.validation import ErrorSummary, boxplot_stats, prediction_errors
 from .common import PredictionTable, StudyContext
+
+__all__ = [
+    "ParetoFrontier",
+    "pareto_indices",
+    "discretized_frontier",
+    "hypervolume_2d",
+    "characterize",
+    "frontier",
+    "EfficiencyOptimum",
+    "efficiency_optimum",
+    "table2",
+    "FrontierValidation",
+    "validate_frontier",
+    "resource_trend",
+]
 
 
 @dataclass
@@ -32,60 +53,6 @@ class ParetoFrontier:
 
     def __len__(self) -> int:
         return len(self.points)
-
-
-def pareto_indices(delay: np.ndarray, power: np.ndarray) -> np.ndarray:
-    """Indices of non-dominated points (minimize delay and power).
-
-    Sort by delay then sweep with a running power minimum: a design is on
-    the frontier iff no faster-or-equal design needs less-or-equal power.
-    """
-    delay = np.asarray(delay, dtype=float)
-    power = np.asarray(power, dtype=float)
-    if delay.shape != power.shape:
-        raise ValueError("delay and power must align")
-    order = np.lexsort((power, delay))  # by delay, ties by power
-    kept = []
-    best_power = np.inf
-    last_delay = None
-    for index in order:
-        if power[index] < best_power:
-            # Strictly better power than anything at least as fast.
-            if last_delay is not None and delay[index] == last_delay:
-                pass  # same delay, higher power was filtered by lexsort
-            kept.append(index)
-            best_power = power[index]
-            last_delay = delay[index]
-    return np.array(sorted(kept), dtype=int)
-
-
-def discretized_frontier(
-    delay: np.ndarray, power: np.ndarray, bins: int = 50
-) -> np.ndarray:
-    """The paper's construction: min-power design per delay bin, pruned.
-
-    The delay range is discretized into ``bins`` targets; within each bin
-    the power-minimizing design is selected, and dominated selections are
-    pruned afterwards.
-    """
-    delay = np.asarray(delay, dtype=float)
-    power = np.asarray(power, dtype=float)
-    if bins < 1:
-        raise ValueError(f"bins must be positive, got {bins}")
-    edges = np.linspace(delay.min(), delay.max(), bins + 1)
-    chosen = []
-    for b in range(bins):
-        low, high = edges[b], edges[b + 1]
-        if b == bins - 1:
-            mask = (delay >= low) & (delay <= high)
-        else:
-            mask = (delay >= low) & (delay < high)
-        candidates = np.flatnonzero(mask)
-        if candidates.size:
-            chosen.append(candidates[power[candidates].argmin()])
-    chosen = np.array(chosen, dtype=int)
-    keep = pareto_indices(delay[chosen], power[chosen])
-    return chosen[keep]
 
 
 def hypervolume_2d(
@@ -131,17 +98,23 @@ def characterize(ctx: StudyContext, benchmark: str) -> PredictionTable:
 def frontier(
     ctx: StudyContext, benchmark: str, bins: int = 50
 ) -> ParetoFrontier:
-    """The regression-predicted pareto frontier for one benchmark."""
-    table = ctx.predict_exploration(benchmark)
-    delay = table.delay
-    power = table.watts
-    indices = discretized_frontier(delay, power, bins=bins)
+    """The regression-predicted pareto frontier for one benchmark.
+
+    Runs on the streaming sweep engine: the exploration set is predicted
+    blockwise and only frontier candidates are retained, so the full
+    262,500-point sweep never materializes a prediction table.  Indices
+    are sweep positions — identical to row indices of
+    :meth:`~repro.studies.common.StudyContext.predict_exploration`.
+    """
+    result = ctx.sweep_exploration(
+        benchmark, [ParetoFrontierReducer(bins=bins)]
+    )[0]
     return ParetoFrontier(
         benchmark=benchmark,
-        indices=indices,
-        points=[table.points[i] for i in indices],
-        delay=delay[indices],
-        power=power[indices],
+        indices=result.indices,
+        points=result.points,
+        delay=result.delay,
+        power=result.power,
     )
 
 
@@ -172,17 +145,22 @@ class EfficiencyOptimum:
 def efficiency_optimum(
     ctx: StudyContext, benchmark: str, validate: bool = True
 ) -> EfficiencyOptimum:
-    """The benchmark's predicted bips^3/w-maximizing design (+ sim check)."""
-    table = ctx.predict_exploration(benchmark)
-    index = int(table.efficiency.argmax())
-    point = table.points[index]
+    """The benchmark's predicted bips^3/w-maximizing design (+ sim check).
+
+    The argmax streams through the sweep engine (first occurrence wins on
+    ties, as with ``argmax`` over a whole-space table).
+    """
+    best = ctx.sweep_exploration(
+        benchmark, [TopKReducer(metric="efficiency", k=1)]
+    )[0]
+    point = best.points[0]
     row = EfficiencyOptimum(
         benchmark=benchmark,
         point=point,
-        predicted_bips=float(table.bips[index]),
-        predicted_watts=float(table.watts[index]),
-        predicted_delay=float(table.delay[index]),
-        predicted_efficiency=float(table.efficiency[index]),
+        predicted_bips=float(best.bips[0]),
+        predicted_watts=float(best.watts[0]),
+        predicted_delay=float(best.delay[0]),
+        predicted_efficiency=float(best.efficiency[0]),
     )
     if validate:
         result = ctx.simulate(benchmark, point)

@@ -42,6 +42,13 @@ class TestCampaignShape:
         with pytest.raises(KeyError):
             mini_campaign.dataset("ammp")
 
+    def test_dataset_rejects_unknown_split(self, mini_campaign):
+        # "test" used to silently fall through to the validation table
+        with pytest.raises(ValueError):
+            mini_campaign.dataset("gzip", "test")
+        with pytest.raises(ValueError):
+            mini_campaign.dataset("gzip", "Validation")
+
     def test_metrics_positive(self, mini_campaign):
         for split in ("train", "validation"):
             for bench in ("gzip", "mcf"):
@@ -96,6 +103,7 @@ class TestModelFitting:
             assert models[bench]["watts"].r_squared > 0.9
 
     def test_parallel_matches_serial(self, mini_campaign):
+        """Workers rebuild deterministic traces: results are bit-identical."""
         import numpy as np
 
         parallel = run_campaign(
@@ -108,8 +116,12 @@ class TestModelFitting:
             for split in ("train", "validation"):
                 serial_metrics = mini_campaign.dataset(bench, split).metrics
                 parallel_metrics = parallel.dataset(bench, split).metrics
-                assert np.allclose(serial_metrics["bips"], parallel_metrics["bips"])
-                assert np.allclose(serial_metrics["watts"], parallel_metrics["watts"])
+                assert np.array_equal(
+                    serial_metrics["bips"], parallel_metrics["bips"]
+                )
+                assert np.array_equal(
+                    serial_metrics["watts"], parallel_metrics["watts"]
+                )
 
     def test_progress_callback(self):
         scale = get_scale("ci").with_overrides(
@@ -124,3 +136,29 @@ class TestModelFitting:
         )
         assert len(calls) == 7  # 5 train + 2 validation
         assert calls[0][0] == "gzip"
+
+    def test_parallel_progress_callback(self):
+        """The parallel path fires the same (benchmark, split, done, total)
+        stream as the serial path, advancing per completed chunk."""
+        scale = get_scale("ci").with_overrides(
+            name="tiny-par", trace_length=500, n_train=6, n_validation=3
+        )
+        calls = []
+        run_campaign(
+            Simulator(),
+            scale=scale,
+            benchmarks=["gzip"],
+            progress=lambda *args: calls.append(args),
+            workers=2,
+        )
+        assert calls, "parallel run_campaign dropped progress callbacks"
+        per_split = {}
+        for benchmark, split, done, total in calls:
+            assert benchmark == "gzip"
+            assert split in ("train", "validation")
+            previous = per_split.get(split, 0)
+            assert done > previous  # cumulative and increasing
+            per_split[split] = done
+            assert total == (6 if split == "train" else 3)
+        assert per_split["train"] == 6
+        assert per_split["validation"] == 3
