@@ -3,6 +3,14 @@
 ``repro list`` enumerates the paper's tables/figures; ``repro run <id>``
 regenerates one (or ``all``); ``repro info`` prints the environment.
 Scale is chosen with ``--scale`` or the ``REPRO_SCALE`` env var.
+
+``repro run`` and ``repro sweep`` accept ``--resume``, ``--retries``, and
+``--chunk-timeout``: these route the expensive phases through the
+resilient executor (:mod:`repro.harness.resilience`), which retries
+transient worker failures and journals completed chunks so an
+interrupted invocation picks up where it stopped.  Expected operational
+errors (bad artifacts, unknown scales, malformed sweeps, failed chunks)
+print one line to stderr and exit with code 2 instead of a traceback.
 """
 
 from __future__ import annotations
@@ -14,7 +22,49 @@ from typing import List, Optional
 
 from . import __version__
 from .experiments import EXPERIMENTS, run_experiment, shared_context
-from .harness import PRESETS, get_scale
+from .harness import (
+    PRESETS,
+    ArtifactError,
+    ChunkFailure,
+    ResilienceConfig,
+    RetryPolicy,
+    ScaleError,
+    SweepError,
+    get_scale,
+)
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared --resume/--retries/--chunk-timeout flag group."""
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="journal completed chunks and resume an interrupted run",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max attempts per chunk for transient failures (default 3)",
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-chunk wall-time limit; timed-out chunks are retried",
+    )
+
+
+def _resilience_from_args(
+    args: argparse.Namespace,
+) -> Optional[ResilienceConfig]:
+    """A ResilienceConfig when any resilience flag was given, else None."""
+    if (
+        not args.resume
+        and args.retries is None
+        and args.chunk_timeout is None
+    ):
+        return None
+    policy = RetryPolicy(
+        max_attempts=args.retries if args.retries is not None else 3,
+        chunk_timeout=args.chunk_timeout,
+    )
+    return ResilienceConfig(policy=policy, resume=args.resume)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="parallel simulation workers for the campaign phase",
     )
+    _add_resilience_arguments(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     info_parser = subparsers.add_parser("info", help="environment summary")
@@ -78,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks", nargs="*", default=None,
         help="restrict to these benchmarks (default: the full suite)",
     )
+    _add_resilience_arguments(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     analyze_parser = subparsers.add_parser(
@@ -158,7 +210,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"choices: {', '.join(EXPERIMENTS)} or 'all'", file=sys.stderr)
         return 2
     scale = get_scale(args.scale)
-    ctx = shared_context(scale, workers=args.workers)
+    ctx = shared_context(
+        scale, workers=args.workers, resilience=_resilience_from_args(args)
+    )
     for experiment_id in ids:
         started = time.time()
         result = run_experiment(experiment_id, ctx=ctx)
@@ -166,6 +220,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"=== {result.id}: {result.title} [{elapsed:.1f}s @ {scale.name}] ===")
         print(result.text)
         print()
+    # only report on a campaign the experiments actually built — touching
+    # ctx.campaign here would force a build T1-style experiments never need
+    campaign = getattr(ctx, "_campaign", None)
+    if campaign is not None and campaign.run_report is not None:
+        print(f"campaign execution: {campaign.run_report.summary()}")
     return 0
 
 
@@ -256,10 +315,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     frontier size, the bips^3/w-optimal design, and throughput.
     """
     from .harness import ParetoFrontierReducer, TopKReducer, render_design_point
+    from .harness.artifacts import cache_dir
     from .harness.sweep import run_sweep
 
     scale = get_scale(args.scale)
-    ctx = shared_context(scale, workers=args.workers)
+    resilience = _resilience_from_args(args)
+    ctx = shared_context(scale, workers=args.workers, resilience=resilience)
     benchmarks = args.benchmarks or list(ctx.benchmarks)
     unknown = [b for b in benchmarks if b not in ctx.benchmarks]
     if unknown:
@@ -276,6 +337,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"[scale={scale.name}, workers={args.workers}]"
     )
     for benchmark in benchmarks:
+        bench_resilience = resilience
+        if resilience is not None and resilience.resume:
+            # One journal per benchmark, next to the campaign cache.
+            bench_resilience = ResilienceConfig(
+                policy=resilience.policy,
+                journal_path=cache_dir()
+                / f"sweep-{scale.name}-{benchmark}.journal.jsonl",
+                resume=True,
+                faults=resilience.faults,
+            )
         report = run_sweep(
             ctx.predictor(benchmark),
             source,
@@ -284,6 +355,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 TopKReducer(metric="efficiency", k=1),
             ],
             workers=args.workers,
+            resilience=bench_resilience,
             **kwargs,
         )
         front, best = report.results
@@ -300,6 +372,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"  throughput: {report.points_per_second:,.0f} points/s "
             f"({report.elapsed_seconds * 1e3:.0f} ms)"
         )
+        if report.run_report is not None:
+            print(f"  execution: {report.run_report.summary()}")
     return 0
 
 
@@ -323,7 +397,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not hasattr(args, "func"):
         parser.print_help()
         return 1
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ChunkFailure as error:
+        # A chunk failed permanently or exhausted its retries; show what
+        # completed (journaled chunks remain resumable) and the reason.
+        if error.report is not None:
+            print(f"error: {error.report.summary()}", file=sys.stderr)
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (ArtifactError, ScaleError, SweepError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
@@ -26,7 +28,10 @@ from ..simulator import Simulator
 from ..workloads import BENCHMARK_NAMES
 from .campaign import Campaign, run_campaign
 from .dataset import Dataset
+from .resilience import ResilienceConfig
 from .scale import ScalePreset, get_scale
+
+logger = logging.getLogger(__name__)
 
 #: Bump to invalidate caches when simulator/workload semantics change.
 CACHE_VERSION = 5
@@ -89,9 +94,24 @@ def save_campaign(campaign: Campaign, path: Path) -> None:
         },
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(json.dumps(payload))
-    tmp.replace(path)
+    # Crash safety: stage in a unique temp file in the same directory,
+    # fsync, then atomically rename — an interrupt at any instant leaves
+    # either the old artifact or the new one, never a truncated file.
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            logger.debug("could not remove temp artifact %s", tmp_name)
+        raise
 
 
 def load_campaign(
@@ -102,17 +122,42 @@ def load_campaign(
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as error:
         raise ArtifactError(f"unreadable campaign artifact {path}: {error}")
+    if not isinstance(payload, dict):
+        raise ArtifactError(
+            f"malformed campaign artifact {path}: expected a JSON object, "
+            f"got {type(payload).__name__}"
+        )
     if payload.get("version") != CACHE_VERSION:
         raise ArtifactError(
             f"artifact version {payload.get('version')} != {CACHE_VERSION}"
         )
 
-    def rebuild(raw_points) -> list:
-        return [DesignPoint(space.names, tuple(values)) for values in raw_points]
+    def fetch(table, key, where: str):
+        """Index into the payload; malformed shapes become ArtifactError."""
+        try:
+            return table[key]
+        except (KeyError, TypeError, IndexError) as error:
+            raise ArtifactError(
+                f"malformed campaign artifact {path}: missing or malformed "
+                f"key {key!r} in {where} ({type(error).__name__}: {error})"
+            ) from error
 
-    train_points = rebuild(payload["train_points"])
-    validation_points = rebuild(payload["validation_points"])
-    benchmarks = tuple(payload["benchmarks"])
+    def rebuild(key) -> list:
+        raw_points = fetch(payload, key, "payload")
+        try:
+            return [
+                DesignPoint(space.names, tuple(values))
+                for values in raw_points
+            ]
+        except (TypeError, ValueError) as error:
+            raise ArtifactError(
+                f"malformed campaign artifact {path}: bad point data under "
+                f"{key!r}: {error}"
+            ) from error
+
+    train_points = rebuild("train_points")
+    validation_points = rebuild("validation_points")
+    benchmarks = tuple(fetch(payload, "benchmarks", "payload"))
     campaign = Campaign(
         space=space,
         scale=scale,
@@ -120,22 +165,60 @@ def load_campaign(
         train_points=train_points,
         validation_points=validation_points,
     )
+    all_metrics = fetch(payload, "metrics", "payload")
     for split, points in (
         ("train", train_points),
         ("validation", validation_points),
     ):
+        split_metrics = fetch(all_metrics, split, "'metrics'")
         for bench in benchmarks:
-            metrics = payload["metrics"][split][bench]
+            metrics = fetch(split_metrics, bench, f"'metrics'/{split!r}")
+            columns = {}
+            for name in ("bips", "watts"):
+                raw = fetch(metrics, name, f"'metrics'/{split!r}/{bench!r}")
+                try:
+                    column = np.asarray(raw, dtype=float)
+                except (TypeError, ValueError) as error:
+                    raise ArtifactError(
+                        f"malformed campaign artifact {path}: non-numeric "
+                        f"{name!r} column for {bench!r}/{split}: {error}"
+                    ) from error
+                if column.ndim != 1 or len(column) != len(points):
+                    raise ArtifactError(
+                        f"malformed campaign artifact {path}: {name!r} column "
+                        f"for {bench!r}/{split} has shape {column.shape}, "
+                        f"expected ({len(points)},)"
+                    )
+                columns[name] = column
             getattr(campaign, split)[bench] = Dataset(
                 benchmark=bench,
                 space=space,
                 points=points,
-                metrics={
-                    "bips": np.asarray(metrics["bips"], dtype=float),
-                    "watts": np.asarray(metrics["watts"], dtype=float),
-                },
+                metrics=columns,
             )
     return campaign
+
+
+def quarantine_artifact(path: Path, reason: str) -> Optional[Path]:
+    """Move a bad artifact aside to ``<name>.corrupt`` for post-mortems.
+
+    Returns the quarantine path, or None when the rename itself failed
+    (the artifact is then left in place and will be overwritten).
+    """
+    target = path.with_suffix(path.suffix + ".corrupt")
+    try:
+        os.replace(path, target)
+    except OSError as error:
+        logger.warning(
+            "could not quarantine bad artifact %s (%s); it will be "
+            "overwritten on regeneration", path, error,
+        )
+        return None
+    logger.warning(
+        "quarantined bad campaign artifact %s -> %s (%s); regenerating",
+        path, target.name, reason,
+    )
+    return target
 
 
 def cached_campaign(
@@ -145,8 +228,17 @@ def cached_campaign(
     benchmarks: Optional[Sequence[str]] = None,
     refresh: bool = False,
     workers: int = 1,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Campaign:
-    """Load the matching cached campaign or run and cache a fresh one."""
+    """Load the matching cached campaign or run and cache a fresh one.
+
+    A cached file that fails to load (truncated, stale version, missing
+    keys) is quarantined to ``<name>.corrupt`` with a logged reason, then
+    regenerated.  When ``resilience`` asks for resume without naming a
+    journal, the journal lives next to the artifact
+    (``<name>.journal.jsonl``) so an interrupted regeneration continues
+    from completed chunks.
+    """
     simulator = simulator or Simulator()
     scale = scale or get_scale()
     space = space or sampling_space()
@@ -156,10 +248,25 @@ def cached_campaign(
     if path.exists() and not refresh:
         try:
             return load_campaign(path, space, scale)
-        except ArtifactError:
-            pass  # stale or corrupt: fall through and regenerate
+        except ArtifactError as error:
+            quarantine_artifact(path, str(error))
+    if resilience is not None and resilience.journal_path is None:
+        journal_path = path.with_suffix(".journal.jsonl")
+        resilience = ResilienceConfig(
+            policy=resilience.policy,
+            journal_path=journal_path,
+            resume=resilience.resume,
+            faults=resilience.faults,
+        )
+        if refresh and journal_path.exists():
+            journal_path.unlink()
     campaign = run_campaign(
-        simulator, scale=scale, space=space, benchmarks=names, workers=workers
+        simulator,
+        scale=scale,
+        space=space,
+        benchmarks=names,
+        workers=workers,
+        resilience=resilience,
     )
     save_campaign(campaign, path)
     return campaign

@@ -7,11 +7,14 @@ and validation datasets — the inputs to model fitting and Figure 1.
 Campaigns are embarrassingly parallel across design points; pass
 ``workers > 1`` to spread simulations over processes (each worker rebuilds
 its deterministic trace, so results are bit-identical to a serial run).
+Parallel runs go through :mod:`repro.harness.resilience`: chunks are
+retried on transient failures, optionally journaled to disk for
+checkpoint/resume, and the run degrades to in-process execution when the
+worker pool breaks repeatedly.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -22,7 +25,21 @@ from ..regression import FittedModel, fit_ols, performance_spec, power_spec
 from ..simulator import Simulator
 from ..workloads import BENCHMARK_NAMES, get_profile
 from .dataset import Dataset
+from .resilience import (
+    ChunkTask,
+    CorruptResultError,
+    Journal,
+    ResilienceConfig,
+    RunReport,
+    fingerprint_payload,
+    run_chunks,
+)
 from .scale import ScalePreset, get_scale
+
+#: Chunks per (benchmark, split) on the resilient path.  A constant — not
+#: a function of ``workers`` — so a journal written at one worker count
+#: resumes cleanly at another.
+CAMPAIGN_CHUNKS_PER_SPLIT = 8
 
 
 @dataclass
@@ -36,6 +53,9 @@ class Campaign:
     validation_points: List[DesignPoint]
     train: Dict[str, Dataset] = field(default_factory=dict)
     validation: Dict[str, Dataset] = field(default_factory=dict)
+    #: Execution accounting when the run went through the resilient
+    #: executor (retries, resumes, degradation); None on the serial path.
+    run_report: Optional[RunReport] = None
 
     def dataset(self, benchmark: str, split: str = "train") -> Dataset:
         if split not in ("train", "validation"):
@@ -76,6 +96,140 @@ def _chunked(points: List[DesignPoint], chunks: int) -> List[List[DesignPoint]]:
     return [points[i : i + size] for i in range(0, len(points), size)]
 
 
+def _campaign_fingerprint(
+    scale: ScalePreset,
+    space: DesignSpace,
+    names: Sequence[str],
+    memory_mode: str,
+    warm: bool,
+    chunk_sizes: Sequence[int],
+) -> str:
+    """Digest of everything that determines the chunk layout and results."""
+    return fingerprint_payload(
+        {
+            "kind": "campaign",
+            "scale": {
+                "trace_length": scale.trace_length,
+                "n_train": scale.n_train,
+                "n_validation": scale.n_validation,
+                "seed": scale.seed,
+            },
+            "space": {
+                "name": space.name,
+                "parameters": [
+                    [p.name, list(p.values)] for p in space.parameters
+                ],
+            },
+            "benchmarks": list(names),
+            "memory_mode": memory_mode,
+            "warm": warm,
+            "chunk_sizes": list(chunk_sizes),
+        }
+    )
+
+
+def _validate_campaign_payload(task: ChunkTask, payload) -> None:
+    """Reject worker payloads that are not ``task.size`` (bips, watts) pairs."""
+    if not isinstance(payload, list) or len(payload) != task.size:
+        got = len(payload) if isinstance(payload, list) else type(payload)
+        raise CorruptResultError(
+            f"chunk {task.index} returned {got} results, expected {task.size}"
+        )
+    for pair in payload:
+        if not isinstance(pair, (tuple, list)) or len(pair) != 2:
+            raise CorruptResultError(
+                f"chunk {task.index} returned a malformed result pair"
+            )
+
+
+def _run_campaign_resilient(
+    campaign: Campaign,
+    simulator: Simulator,
+    scale: ScalePreset,
+    space: DesignSpace,
+    names: Sequence[str],
+    splits,
+    progress,
+    workers: int,
+    resilience: ResilienceConfig,
+) -> Campaign:
+    """The chunked path: fan out, retry, journal, and assemble datasets."""
+    tasks: List[ChunkTask] = []
+    chunk_sizes: List[int] = []
+    for benchmark in names:
+        for split, split_points in splits:
+            for chunk in _chunked(split_points, CAMPAIGN_CHUNKS_PER_SPLIT):
+                tasks.append(
+                    ChunkTask(
+                        index=len(tasks),
+                        fn=_simulate_chunk,
+                        args=(
+                            space,
+                            benchmark,
+                            scale.trace_length,
+                            scale.seed,
+                            simulator.memory_mode,
+                            simulator.warm,
+                            chunk,
+                        ),
+                        size=len(chunk),
+                        meta=(benchmark, split),
+                    )
+                )
+                chunk_sizes.append(len(chunk))
+
+    journal = None
+    if resilience.journal_path is not None:
+        fingerprint = _campaign_fingerprint(
+            scale, space, names, simulator.memory_mode, simulator.warm,
+            chunk_sizes,
+        )
+        if not resilience.resume and resilience.journal_path.exists():
+            resilience.journal_path.unlink()
+        journal = Journal.open(resilience.journal_path, fingerprint)
+
+    split_totals = {split: len(pts) for split, pts in splits}
+    done_counts = {
+        (benchmark, split): 0 for benchmark in names for split, _ in splits
+    }
+
+    def on_chunk(task, record, payload):
+        if progress is None:
+            return
+        benchmark, split = task.meta
+        done_counts[task.meta] += task.size
+        progress(benchmark, split, done_counts[task.meta], split_totals[split])
+
+    results, report = run_chunks(
+        tasks,
+        workers=workers,
+        policy=resilience.policy,
+        journal=journal,
+        faults=resilience.faults,
+        validate=_validate_campaign_payload,
+        on_chunk=on_chunk,
+    )
+    campaign.run_report = report
+
+    by_group: Dict[tuple, List] = {}
+    for task, payload in zip(tasks, results):
+        by_group.setdefault(task.meta, []).extend(payload)
+    for (benchmark, split), pairs in by_group.items():
+        split_points = dict(splits)[split]
+        getattr(campaign, split)[benchmark] = Dataset(
+            benchmark=benchmark,
+            space=space,
+            points=list(split_points),
+            metrics={
+                "bips": np.array([float(p[0]) for p in pairs]),
+                "watts": np.array([float(p[1]) for p in pairs]),
+            },
+        )
+    if journal is not None:
+        journal.discard()
+    return campaign
+
+
 def run_campaign(
     simulator: Simulator,
     scale: Optional[ScalePreset] = None,
@@ -83,6 +237,7 @@ def run_campaign(
     benchmarks: Optional[Sequence[str]] = None,
     progress=None,
     workers: int = 1,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Campaign:
     """Sample, simulate, and assemble datasets.
 
@@ -95,6 +250,11 @@ def run_campaign(
     serial run).  ``progress`` callbacks fire on both paths with the same
     ``(benchmark, split, done, total)`` stream: per point serially, per
     completed chunk in parallel.
+
+    ``resilience`` (or any ``workers > 1`` run, which uses the default
+    policy) routes execution through :func:`repro.harness.resilience.run_chunks`:
+    transient worker failures retry with backoff, a journal path enables
+    checkpoint/resume, and the finished campaign carries a ``run_report``.
     """
     scale = scale or get_scale()
     space = space or sampling_space()
@@ -113,55 +273,18 @@ def run_campaign(
         validation_points=validation_points,
     )
     splits = (("train", train_points), ("validation", validation_points))
-    if workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = {}
-            chunk_of = {}
-            for benchmark in names:
-                for split, split_points in splits:
-                    chunks = _chunked(split_points, workers * 2)
-                    jobs = [
-                        executor.submit(
-                            _simulate_chunk,
-                            space,
-                            benchmark,
-                            scale.trace_length,
-                            scale.seed,
-                            simulator.memory_mode,
-                            simulator.warm,
-                            chunk,
-                        )
-                        for chunk in chunks
-                    ]
-                    futures[(benchmark, split)] = jobs
-                    for job, chunk in zip(jobs, chunks):
-                        chunk_of[job] = (benchmark, split, len(chunk))
-            if progress is not None:
-                # Fire the same (benchmark, split, done, total) stream as
-                # the serial path, advancing by chunk as futures finish.
-                split_totals = {split: len(pts) for split, pts in splits}
-                done_counts = {key: 0 for key in futures}
-                for job in as_completed(chunk_of):
-                    benchmark, split, count = chunk_of[job]
-                    done_counts[(benchmark, split)] += count
-                    progress(
-                        benchmark,
-                        split,
-                        done_counts[(benchmark, split)],
-                        split_totals[split],
-                    )
-            for (benchmark, split), jobs in futures.items():
-                pairs = [pair for job in jobs for pair in job.result()]
-                bips = np.array([p[0] for p in pairs])
-                watts = np.array([p[1] for p in pairs])
-                split_points = dict(splits)[split]
-                getattr(campaign, split)[benchmark] = Dataset(
-                    benchmark=benchmark,
-                    space=space,
-                    points=list(split_points),
-                    metrics={"bips": bips, "watts": watts},
-                )
-        return campaign
+    if workers > 1 or resilience is not None:
+        return _run_campaign_resilient(
+            campaign,
+            simulator,
+            scale,
+            space,
+            names,
+            splits,
+            progress,
+            workers,
+            resilience or ResilienceConfig(),
+        )
 
     for benchmark in names:
         profile = get_profile(benchmark)

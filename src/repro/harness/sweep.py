@@ -13,10 +13,13 @@ per-depth efficiency distributions — so peak memory stays proportional
 to the block size, not ``|S|``.
 
 Blocks are embarrassingly parallel; ``workers > 1`` fans chunks of
-blocks out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-mirroring ``run_campaign``'s worker model.  Reducers are partition
-independent: results are identical for any block size or worker count,
-and identical to reducing a monolithic whole-space prediction table.
+blocks out through :mod:`repro.harness.resilience` mirroring
+``run_campaign``'s worker model — with chunk retries, optional
+journaling for checkpoint/resume, and serial degradation when the pool
+breaks.  Reduction stays in-process and consumes chunks in sweep order,
+so reducers are partition independent: results are identical for any
+block size or worker count, and identical to reducing a monolithic
+whole-space prediction table.
 
 The frontier construction (``pareto_indices`` / ``discretized_frontier``)
 lives here — below the studies layer — so both the streaming engine and
@@ -25,8 +28,8 @@ the Study-1 code share one implementation.
 
 from __future__ import annotations
 
+import hashlib
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
     Dict,
@@ -42,9 +45,22 @@ from ..designspace import DesignPoint, DesignSpace
 from ..designspace.parameters import ParameterError
 from ..metrics import bips3_per_watt, delay_seconds
 from ..regression import FittedModel
+from .resilience import (
+    ChunkTask,
+    CorruptResultError,
+    Journal,
+    ResilienceConfig,
+    RunReport,
+    fingerprint_payload,
+    run_chunks,
+)
 
 #: Default number of design points predicted per block.
 DEFAULT_BLOCK_SIZE = 8192
+
+#: Target chunk count on the resilient path.  A constant — not a function
+#: of ``workers`` — so a sweep journal resumes at any worker count.
+SWEEP_CHUNKS = 8
 
 
 class SweepError(ValueError):
@@ -868,6 +884,9 @@ class SweepReport:
     workers: int
     elapsed_seconds: float
     results: List[object]
+    #: Execution accounting when the sweep went through the resilient
+    #: executor (retries, resumes, degradation); None on the serial path.
+    run_report: Optional[RunReport] = None
 
     @property
     def points_per_second(self) -> float:
@@ -930,6 +949,79 @@ def _sweep_chunk(
     return payloads
 
 
+def _encode_sweep_payload(payload) -> list:
+    """Chunk payload → JSON for the journal (dtypes preserved)."""
+    return [
+        [
+            start,
+            bips.tolist(),
+            watts.tolist(),
+            {
+                name: {"dtype": str(col.dtype), "values": col.tolist()}
+                for name, col in raw.items()
+            },
+        ]
+        for start, bips, watts, raw in payload
+    ]
+
+
+def _decode_sweep_payload(encoded) -> list:
+    """Journaled JSON → chunk payload (bitwise: JSON floats round-trip)."""
+    return [
+        (
+            int(start),
+            np.asarray(bips, dtype=float),
+            np.asarray(watts, dtype=float),
+            {
+                name: np.asarray(col["values"], dtype=np.dtype(col["dtype"]))
+                for name, col in raw.items()
+            },
+        )
+        for start, bips, watts, raw in encoded
+    ]
+
+
+def _validate_sweep_payload(task: ChunkTask, payload) -> None:
+    """Reject chunk payloads that do not cover exactly ``task.size`` points."""
+    if not isinstance(payload, list):
+        raise CorruptResultError(
+            f"chunk {task.index} returned {type(payload).__name__}, "
+            "expected a list of blocks"
+        )
+    covered = sum(len(bips) for _, bips, _, _ in payload)
+    if covered != task.size:
+        raise CorruptResultError(
+            f"chunk {task.index} covered {covered} points, "
+            f"expected {task.size}"
+        )
+
+
+def _sweep_fingerprint(
+    predictor: BlockPredictor,
+    total: int,
+    block_size: int,
+    chunk_size: int,
+    columns: Tuple[str, ...],
+) -> str:
+    """Digest binding a sweep journal to one layout *and* one model fit."""
+    coeffs = hashlib.sha256(
+        predictor.bips_model.coefficients.tobytes()
+        + predictor.watts_model.coefficients.tobytes()
+    ).hexdigest()[:16]
+    return fingerprint_payload(
+        {
+            "kind": "sweep",
+            "benchmark": predictor.benchmark,
+            "n_points": total,
+            "block_size": block_size,
+            "chunk_size": chunk_size,
+            "columns": list(columns),
+            "ref_instructions": float(predictor.ref_instructions),
+            "coefficients": coeffs,
+        }
+    )
+
+
 def _make_block(
     predictor: BlockPredictor,
     start: int,
@@ -948,6 +1040,85 @@ def _make_block(
     )
 
 
+def _run_sweep_resilient(
+    predictor: BlockPredictor,
+    source: SweepSource,
+    reducers: Sequence[SweepReducer],
+    block_size: int,
+    workers: int,
+    progress,
+    columns: Tuple[str, ...],
+    resilience: ResilienceConfig,
+) -> RunReport:
+    """Chunked fan-out with retries/journal; in-order streaming reduction."""
+    total = len(source)
+    # Chunk boundaries must land on block boundaries: block decomposition
+    # then matches the serial path exactly, which keeps predictions (and
+    # hence reducer results) bitwise identical — BLAS kernels can round
+    # differently for different matrix row counts.
+    chunk_size = -(-total // SWEEP_CHUNKS)  # ceil division
+    chunk_size = max(
+        block_size, -(-chunk_size // block_size) * block_size
+    )
+    tasks = [
+        ChunkTask(
+            index=i,
+            fn=_sweep_chunk,
+            args=(predictor, source.slice(start, stop), start, block_size,
+                  columns),
+            size=stop - start,
+            meta=(start, stop),
+        )
+        for i, (start, stop) in enumerate(_block_ranges(total, chunk_size))
+    ]
+
+    journal = None
+    if resilience.journal_path is not None:
+        fingerprint = _sweep_fingerprint(
+            predictor, total, block_size, chunk_size, columns
+        )
+        if not resilience.resume and resilience.journal_path.exists():
+            resilience.journal_path.unlink()
+        journal = Journal.open(resilience.journal_path, fingerprint)
+
+    # Reducers are streaming and order-sensitive (running argmaxes break
+    # ties by first occurrence), so chunks completing out of order park
+    # in a buffer until their predecessors arrive.
+    state = {"next": 0, "done": 0}
+    parked: Dict[int, list] = {}
+
+    def consume(payload) -> None:
+        for start, bips, watts, raw in payload:
+            block = _make_block(predictor, start, bips, watts, raw)
+            for reducer in reducers:
+                reducer.update(block)
+            state["done"] += len(block)
+        if progress is not None:
+            progress(predictor.benchmark, state["done"], total)
+
+    def on_chunk(task, record, payload) -> None:
+        parked[task.index] = payload
+        while state["next"] in parked:
+            consume(parked.pop(state["next"]))
+            state["next"] += 1
+
+    _, report = run_chunks(
+        tasks,
+        workers=workers,
+        policy=resilience.policy,
+        journal=journal,
+        faults=resilience.faults,
+        validate=_validate_sweep_payload,
+        on_chunk=on_chunk,
+        encode=_encode_sweep_payload,
+        decode=_decode_sweep_payload,
+        keep_results=False,
+    )
+    if journal is not None:
+        journal.discard()
+    return report
+
+
 def run_sweep(
     predictor: BlockPredictor,
     source: SweepSource,
@@ -955,6 +1126,7 @@ def run_sweep(
     block_size: int = DEFAULT_BLOCK_SIZE,
     workers: int = 1,
     progress=None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> SweepReport:
     """Sweep ``source`` through ``predictor``, folding into ``reducers``.
 
@@ -964,6 +1136,12 @@ def run_sweep(
     so results are identical to a serial run.  ``progress`` (if given)
     is called as ``progress(benchmark, done_points, total_points)`` after
     each consumed block or chunk.
+
+    ``resilience`` (or any multi-worker run, which uses the default
+    policy) routes the fan-out through
+    :func:`repro.harness.resilience.run_chunks`: transient chunk failures
+    retry with backoff, a journal path enables checkpoint/resume, and the
+    report carries a ``run_report``.
     """
     if block_size < 1:
         raise SweepError(f"block_size must be positive, got {block_size}")
@@ -974,33 +1152,19 @@ def run_sweep(
     )
     total = len(source)
     started = time.perf_counter()
+    run_report = None
 
-    if workers > 1 and total > block_size:
-        chunk_size = max(
-            block_size, -(-total // (workers * 2))  # ceil division
+    if resilience is not None or (workers > 1 and total > block_size):
+        run_report = _run_sweep_resilient(
+            predictor,
+            source,
+            reducers,
+            block_size,
+            workers,
+            progress,
+            columns,
+            resilience or ResilienceConfig(),
         )
-        tasks = []
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            for start, stop in _block_ranges(total, chunk_size):
-                tasks.append(
-                    executor.submit(
-                        _sweep_chunk,
-                        predictor,
-                        source.slice(start, stop),
-                        start,
-                        block_size,
-                        columns,
-                    )
-                )
-            done = 0
-            for task in tasks:
-                for start, bips, watts, raw in task.result():
-                    block = _make_block(predictor, start, bips, watts, raw)
-                    for reducer in reducers:
-                        reducer.update(block)
-                    done += len(block)
-                if progress is not None:
-                    progress(predictor.benchmark, done, total)
     else:
         done = 0
         for start, stop in _block_ranges(total, block_size):
@@ -1022,6 +1186,7 @@ def run_sweep(
         workers=workers,
         elapsed_seconds=elapsed,
         results=[reducer.finalize(source) for reducer in reducers],
+        run_report=run_report,
     )
 
 

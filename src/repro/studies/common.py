@@ -95,6 +95,7 @@ class StudyContext:
         benchmarks: Optional[Sequence[str]] = None,
         refresh: bool = False,
         workers: int = 1,
+        resilience=None,
     ):
         self.scale = scale or get_scale()
         self.simulator = simulator or Simulator()
@@ -102,6 +103,9 @@ class StudyContext:
         self.sampling_space: DesignSpace = sampling_space()
         self.exploration_space: DesignSpace = exploration_space()
         self.workers = workers
+        #: Optional :class:`repro.harness.ResilienceConfig` applied to the
+        #: campaign phase (retries, journaled checkpoint/resume).
+        self.resilience = resilience
         self._refresh = refresh
         self._campaign: Optional[Campaign] = None
         self._models: Optional[Dict[str, Dict[str, FittedModel]]] = None
@@ -124,6 +128,7 @@ class StudyContext:
                 benchmarks=self.benchmarks,
                 refresh=self._refresh,
                 workers=self.workers,
+                resilience=self.resilience,
             )
         return self._campaign
 

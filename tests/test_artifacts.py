@@ -126,3 +126,112 @@ class TestCachedCampaign:
             path.write_text("garbage")
         campaign = cached_campaign(Simulator(), scale=scale, benchmarks=["gzip"])
         assert len(campaign.train_points) == 6
+
+    def test_corrupt_cache_quarantined_with_warning(self, tiny_scale, caplog):
+        scale = tiny_scale.with_overrides(name="quarantine-test", n_train=6)
+        cached_campaign(Simulator(), scale=scale, benchmarks=["gzip"])
+        (path,) = cache_dir().glob("campaign-quarantine-test-*.json")
+        original = path.read_text()
+        path.write_text(original[: len(original) // 2])  # truncated write
+
+        with caplog.at_level("WARNING"):
+            campaign = cached_campaign(
+                Simulator(), scale=scale, benchmarks=["gzip"]
+            )
+        assert len(campaign.train_points) == 6
+        quarantined = list(
+            cache_dir().glob("campaign-quarantine-test-*.json.corrupt")
+        )
+        assert quarantined, "bad artifact was not quarantined"
+        assert any("quarantined" in r.message for r in caplog.records)
+        # the regenerated artifact is valid again
+        assert path.exists()
+        load_campaign(path, sampling_space(), scale)
+
+
+class TestMalformedPayloads:
+    def _write(self, tmp_path, mutate, campaign):
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path)
+        payload = json.loads(path.read_text())
+        mutate(payload)
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_missing_train_points_key(self, campaign, tiny_scale, tmp_path):
+        path = self._write(
+            tmp_path, lambda p: p.pop("train_points"), campaign
+        )
+        with pytest.raises(ArtifactError, match="train_points"):
+            load_campaign(path, campaign.space, tiny_scale)
+
+    def test_missing_metrics_key(self, campaign, tiny_scale, tmp_path):
+        path = self._write(tmp_path, lambda p: p.pop("metrics"), campaign)
+        with pytest.raises(ArtifactError, match="metrics"):
+            load_campaign(path, campaign.space, tiny_scale)
+
+    def test_missing_benchmark_in_metrics(self, campaign, tiny_scale, tmp_path):
+        path = self._write(
+            tmp_path,
+            lambda p: p["metrics"]["train"].pop("gzip"),
+            campaign,
+        )
+        with pytest.raises(ArtifactError, match="gzip"):
+            load_campaign(path, campaign.space, tiny_scale)
+
+    def test_metrics_wrong_type(self, campaign, tiny_scale, tmp_path):
+        # a scalar where the split table should be: TypeError territory
+        def mutate(p):
+            p["metrics"]["train"] = 42
+
+        path = self._write(tmp_path, mutate, campaign)
+        with pytest.raises(ArtifactError, match="malformed"):
+            load_campaign(path, campaign.space, tiny_scale)
+
+    def test_non_numeric_metric_column(self, campaign, tiny_scale, tmp_path):
+        def mutate(p):
+            p["metrics"]["train"]["gzip"]["bips"] = ["not", "numbers"]
+
+        path = self._write(tmp_path, mutate, campaign)
+        with pytest.raises(ArtifactError, match="bips"):
+            load_campaign(path, campaign.space, tiny_scale)
+
+    def test_truncated_metric_column(self, campaign, tiny_scale, tmp_path):
+        def mutate(p):
+            p["metrics"]["train"]["gzip"]["watts"] = p["metrics"]["train"][
+                "gzip"
+            ]["watts"][:-1]
+
+        path = self._write(tmp_path, mutate, campaign)
+        with pytest.raises(ArtifactError, match="watts"):
+            load_campaign(path, campaign.space, tiny_scale)
+
+    def test_non_object_payload(self, campaign, tiny_scale, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ArtifactError, match="JSON object"):
+            load_campaign(path, campaign.space, tiny_scale)
+
+
+class TestCrashSafeSave:
+    def test_interrupted_save_preserves_existing_artifact(
+        self, campaign, tiny_scale, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path)
+        good = path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(
+            "repro.harness.artifacts.os.replace", exploding_replace
+        )
+        with pytest.raises(OSError):
+            save_campaign(campaign, path)
+        monkeypatch.undo()
+
+        # the existing artifact is untouched and no temp litter remains
+        assert path.read_text() == good
+        assert list(tmp_path.glob("*.tmp")) == []
+        load_campaign(path, campaign.space, tiny_scale)

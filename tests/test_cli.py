@@ -61,6 +61,88 @@ class TestRun:
         assert "T1" in out and "T3" in out
 
 
+class TestResilienceFlags:
+    def test_run_parser_accepts_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["run", "T1", "--resume", "--retries", "5",
+             "--chunk-timeout", "2.5"]
+        )
+        assert args.resume is True
+        assert args.retries == 5
+        assert args.chunk_timeout == 2.5
+
+    def test_sweep_parser_accepts_resilience_flags(self):
+        args = build_parser().parse_args(["sweep", "--resume"])
+        assert args.resume is True
+        assert args.retries is None and args.chunk_timeout is None
+
+    def test_no_flags_means_no_config(self):
+        from repro.cli import _resilience_from_args
+
+        args = build_parser().parse_args(["run", "T1"])
+        assert _resilience_from_args(args) is None
+
+    def test_flags_build_policy(self):
+        from repro.cli import _resilience_from_args
+
+        args = build_parser().parse_args(
+            ["run", "T1", "--retries", "7", "--chunk-timeout", "1.5"]
+        )
+        config = _resilience_from_args(args)
+        assert config.policy.max_attempts == 7
+        assert config.policy.chunk_timeout == 1.5
+        assert config.resume is False
+
+
+class TestErrorHygiene:
+    """Expected operational errors print one line and exit 2."""
+
+    def test_scale_error_is_one_line(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        assert main(["info"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_artifact_error_is_one_line(self, capsys, monkeypatch):
+        from repro.harness import ArtifactError
+
+        def explode(*args, **kwargs):
+            raise ArtifactError("artifact went missing")
+
+        monkeypatch.setattr("repro.cli.shared_context", explode)
+        assert main(["run", "T1", "--scale", "ci"]) == 2
+        err = capsys.readouterr().err
+        assert "error: artifact went missing" in err
+        assert "Traceback" not in err
+
+    def test_sweep_error_is_one_line(self, capsys, monkeypatch):
+        from repro.harness import SweepError
+
+        def explode(*args, **kwargs):
+            raise SweepError("bad sweep configuration")
+
+        monkeypatch.setattr("repro.cli.shared_context", explode)
+        assert main(["sweep", "--scale", "ci"]) == 2
+        err = capsys.readouterr().err
+        assert "error: bad sweep configuration" in err
+
+    def test_chunk_failure_prints_report_summary(self, capsys, monkeypatch):
+        from repro.harness import ChunkFailure, RunReport
+
+        report = RunReport(total_chunks=8, completed=3)
+        report.failure = "chunk 5 ('gzip', 'train') failed: injected"
+
+        def explode(*args, **kwargs):
+            raise ChunkFailure(report.failure, report)
+
+        monkeypatch.setattr("repro.cli.shared_context", explode)
+        assert main(["run", "T1", "--scale", "ci"]) == 2
+        err = capsys.readouterr().err
+        assert "chunks 3/8" in err
+        assert "chunk 5" in err
+
+
 class TestAnalyze:
     """End-to-end coverage of the `repro analyze` subcommand."""
 
