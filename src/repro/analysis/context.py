@@ -17,11 +17,12 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 #: Packages of ``repro`` ordered into layers; a module may only import
 #: packages of strictly lower rank (``cli``/``experiments``/``__main__``
-#: are top-level glue and exempt).  ``analysis`` and ``metrics`` sit at the
-#: bottom: they import nothing else from ``repro``.
+#: are top-level glue and exempt).  ``analysis``, ``metrics`` and ``obs``
+#: sit at the bottom: they import nothing else from ``repro``.
 PACKAGE_RANKS: Dict[str, int] = {
     "metrics": 0,
     "analysis": 0,
+    "obs": 0,
     "designspace": 1,
     "workloads": 1,
     "power": 1,

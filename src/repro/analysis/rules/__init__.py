@@ -7,8 +7,23 @@ Importing this package registers every rule:
 - ``LAY*``  package layering (the repro import DAG)
 - ``CON*``  cross-layer contracts (design space <-> simulator <-> models)
 - ``HYG*``  error hygiene (bare/silent excepts, mutable defaults)
+- ``OBS*``  observability (harness timing must go through repro.obs)
 """
 
-from . import contracts, determinism, hygiene, layering, numeric
+from . import (
+    contracts,
+    determinism,
+    hygiene,
+    layering,
+    numeric,
+    observability,
+)
 
-__all__ = ["contracts", "determinism", "hygiene", "layering", "numeric"]
+__all__ = [
+    "contracts",
+    "determinism",
+    "hygiene",
+    "layering",
+    "numeric",
+    "observability",
+]

@@ -71,7 +71,11 @@ def _target_modules(node: ast.stmt, ctx: ModuleContext) -> List[str]:
             f"{node.module}.{alias.name}" for alias in node.names
         ]
     parts = ctx.module.split(".")
-    base_parts = parts[: len(parts) - node.level] if len(parts) >= node.level else []
+    # ``module_name`` drops the ``__init__`` component, so inside a package
+    # ``__init__.py`` a level-1 import already resolves against the package
+    # itself: strip one component fewer than the level says.
+    level = node.level - (1 if ctx.path.name == "__init__.py" else 0)
+    base_parts = parts[: len(parts) - level] if len(parts) >= level else []
     if node.module:
         return [".".join(base_parts + node.module.split("."))]
     # ``from .. import designspace`` — each alias is itself a module

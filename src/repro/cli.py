@@ -11,11 +11,19 @@ transient worker failures and journals completed chunks so an
 interrupted invocation picks up where it stopped.  Expected operational
 errors (bad artifacts, unknown scales, malformed sweeps, failed chunks)
 print one line to stderr and exit with code 2 instead of a traceback.
+
+Observability (:mod:`repro.obs`): ``--trace PATH`` on ``run``/``sweep``
+records a span/event trace readable with ``repro trace summary|tree``;
+``--metrics`` prints the merged metrics snapshot (driver plus pool
+workers).  ``-v/-vv`` raise logging verbosity on the ``repro.*``
+namespace and ``-q`` silences everything below errors — without these,
+resilience retry/degradation warnings go to stderr at WARNING level.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from typing import List, Optional
@@ -34,6 +42,36 @@ from .harness import (
 )
 
 
+def _configure_logging(verbose: int, quiet: bool) -> None:
+    """Attach a stderr handler to the ``repro`` logger namespace.
+
+    Without this the root logger's last-resort handler drops everything
+    below WARNING and mangles the rest; with it, resilience retry and
+    degradation messages are actually visible.  Idempotent: repeated
+    ``main()`` calls (tests) reuse the one handler and just adjust the
+    level.
+    """
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_cli", False):
+            return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    handler._repro_cli = True
+    logger.addHandler(handler)
+
+
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
     """The shared --resume/--retries/--chunk-timeout flag group."""
     parser.add_argument(
@@ -48,6 +86,54 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
         "--chunk-timeout", type=float, default=None, metavar="SECONDS",
         help="per-chunk wall-time limit; timed-out chunks are retried",
     )
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared --trace/--metrics flag group."""
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span/event trace (checksummed JSONL) to PATH; "
+        "inspect it with 'repro trace summary PATH'",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the merged metrics snapshot (driver + workers) "
+        "after the run",
+    )
+
+
+def _tracing_from_args(args: argparse.Namespace):
+    """Context manager activating ``--trace PATH`` around a command body."""
+    from contextlib import contextmanager
+
+    from .obs import configure_tracing, disable_tracing
+
+    @contextmanager
+    def tracing():
+        if args.trace:
+            configure_tracing(args.trace)
+        try:
+            yield
+        finally:
+            if args.trace:
+                disable_tracing()
+                print(f"trace written to {args.trace}")
+
+    return tracing()
+
+
+def _print_metrics(mark: dict, *worker_snapshots: Optional[dict]) -> None:
+    """Print driver-delta metrics merged with worker snapshots.
+
+    Chunk work runs in isolated registries (its metrics arrive only via
+    the ``RunReport`` snapshots passed here), so this merge never double
+    counts, whichever path executed the chunks.
+    """
+    from .obs import get_registry, merge_snapshots, render_metrics
+
+    merged = merge_snapshots(get_registry().delta(mark), *worker_snapshots)
+    print("--- metrics ---")
+    print(render_metrics(merged))
 
 
 def _resilience_from_args(
@@ -78,6 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise log verbosity on the repro.* namespace "
+        "(-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors",
+    )
     subparsers = parser.add_subparsers(dest="command")
 
     list_parser = subparsers.add_parser("list", help="list experiments")
@@ -100,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel simulation workers for the campaign phase",
     )
     _add_resilience_arguments(run_parser)
+    _add_observability_arguments(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     info_parser = subparsers.add_parser("info", help="environment summary")
@@ -129,8 +225,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks", nargs="*", default=None,
         help="restrict to these benchmarks (default: the full suite)",
     )
+    sweep_parser.add_argument(
+        "--space", choices=("exploration", "sampling"),
+        default="exploration",
+        help="which design space to sweep (default exploration)",
+    )
     _add_resilience_arguments(sweep_parser)
+    _add_observability_arguments(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect a recorded trace file"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command")
+    summary_parser = trace_sub.add_parser(
+        "summary",
+        help="per-span-name aggregates: count, total/mean/p95 wall, CPU",
+    )
+    summary_parser.add_argument("path", help="trace JSONL file")
+    summary_parser.set_defaults(func=_cmd_trace_summary)
+    tree_parser = trace_sub.add_parser(
+        "tree", help="slowest-path span tree"
+    )
+    tree_parser.add_argument("path", help="trace JSONL file")
+    tree_parser.add_argument(
+        "--depth", type=int, default=8,
+        help="maximum tree depth to print (default 8)",
+    )
+    tree_parser.set_defaults(func=_cmd_trace_tree)
+    validate_parser = trace_sub.add_parser(
+        "validate",
+        help="check every line against the span/event schema and checksums",
+    )
+    validate_parser.add_argument("path", help="trace JSONL file")
+    validate_parser.set_defaults(func=_cmd_trace_validate)
 
     analyze_parser = subparsers.add_parser(
         "analyze", help="run the repo's static-analysis rules"
@@ -201,6 +329,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .obs import get_registry
+
     ids: List[str] = args.ids
     if ids == ["all"]:
         ids = list(EXPERIMENTS)
@@ -210,21 +340,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"choices: {', '.join(EXPERIMENTS)} or 'all'", file=sys.stderr)
         return 2
     scale = get_scale(args.scale)
-    ctx = shared_context(
-        scale, workers=args.workers, resilience=_resilience_from_args(args)
-    )
-    for experiment_id in ids:
-        started = time.time()
-        result = run_experiment(experiment_id, ctx=ctx)
-        elapsed = time.time() - started
-        print(f"=== {result.id}: {result.title} [{elapsed:.1f}s @ {scale.name}] ===")
-        print(result.text)
-        print()
+    mark = get_registry().snapshot()
+    with _tracing_from_args(args):
+        ctx = shared_context(
+            scale, workers=args.workers, resilience=_resilience_from_args(args)
+        )
+        for experiment_id in ids:
+            started = time.time()
+            result = run_experiment(experiment_id, ctx=ctx)
+            elapsed = time.time() - started
+            print(
+                f"=== {result.id}: {result.title} "
+                f"[{elapsed:.1f}s @ {scale.name}] ==="
+            )
+            print(result.text)
+            print()
     # only report on a campaign the experiments actually built — touching
     # ctx.campaign here would force a build T1-style experiments never need
     campaign = getattr(ctx, "_campaign", None)
     if campaign is not None and campaign.run_report is not None:
         print(f"campaign execution: {campaign.run_report.summary()}")
+    if args.metrics:
+        worker_metrics = (
+            campaign.run_report.metrics
+            if campaign is not None and campaign.run_report is not None
+            else None
+        )
+        _print_metrics(mark, worker_metrics)
     return 0
 
 
@@ -314,9 +456,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     pareto-frontier and efficiency-argmax reducers, then prints the
     frontier size, the bips^3/w-optimal design, and throughput.
     """
-    from .harness import ParetoFrontierReducer, TopKReducer, render_design_point
+    from .harness import (
+        ParetoFrontierReducer,
+        SpaceSweepSource,
+        TopKReducer,
+        render_design_point,
+    )
     from .harness.artifacts import cache_dir
     from .harness.sweep import run_sweep
+    from .obs import get_registry
 
     scale = get_scale(args.scale)
     resilience = _resilience_from_args(args)
@@ -328,52 +476,113 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"choices: {', '.join(ctx.benchmarks)}", file=sys.stderr)
         return 2
 
-    source = ctx.exploration_source()
+    if args.space == "sampling":
+        from .designspace import sampling_space
+
+        # The sampling space sweeps whole: prediction is cheap enough
+        # that no scale subsampling is needed (the point of the paper).
+        source = SpaceSweepSource(sampling_space())
+    else:
+        source = ctx.exploration_source()
     kwargs = {}
     if args.block_size is not None:
         kwargs["block_size"] = args.block_size
     print(
-        f"sweeping {len(source):,} designs per benchmark "
+        f"sweeping {len(source):,} {args.space} designs per benchmark "
         f"[scale={scale.name}, workers={args.workers}]"
     )
-    for benchmark in benchmarks:
-        bench_resilience = resilience
-        if resilience is not None and resilience.resume:
-            # One journal per benchmark, next to the campaign cache.
-            bench_resilience = ResilienceConfig(
-                policy=resilience.policy,
-                journal_path=cache_dir()
-                / f"sweep-{scale.name}-{benchmark}.journal.jsonl",
-                resume=True,
-                faults=resilience.faults,
+    mark = get_registry().snapshot()
+    worker_metrics: List[Optional[dict]] = []
+    with _tracing_from_args(args):
+        for benchmark in benchmarks:
+            bench_resilience = resilience
+            if resilience is not None and resilience.resume:
+                # One journal per benchmark, next to the campaign cache.
+                bench_resilience = ResilienceConfig(
+                    policy=resilience.policy,
+                    journal_path=cache_dir()
+                    / f"sweep-{scale.name}-{benchmark}.journal.jsonl",
+                    resume=True,
+                    faults=resilience.faults,
+                )
+            report = run_sweep(
+                ctx.predictor(benchmark),
+                source,
+                [
+                    ParetoFrontierReducer(bins=args.bins),
+                    TopKReducer(metric="efficiency", k=1),
+                ],
+                workers=args.workers,
+                resilience=bench_resilience,
+                **kwargs,
             )
-        report = run_sweep(
-            ctx.predictor(benchmark),
-            source,
-            [
-                ParetoFrontierReducer(bins=args.bins),
-                TopKReducer(metric="efficiency", k=1),
-            ],
-            workers=args.workers,
-            resilience=bench_resilience,
-            **kwargs,
-        )
-        front, best = report.results
-        print(f"=== {benchmark} ===")
-        print(
-            f"  frontier: {len(front)} designs across {args.bins} delay bins"
-        )
-        print(f"  bips^3/w optimum: {render_design_point(best.points[0])}")
-        print(
-            f"    bips={best.bips[0]:.3f}  watts={best.watts[0]:.2f}  "
-            f"efficiency={best.efficiency[0]:.4g}"
-        )
-        print(
-            f"  throughput: {report.points_per_second:,.0f} points/s "
-            f"({report.elapsed_seconds * 1e3:.0f} ms)"
-        )
-        if report.run_report is not None:
-            print(f"  execution: {report.run_report.summary()}")
+            if report.run_report is not None:
+                worker_metrics.append(report.run_report.metrics)
+            front, best = report.results
+            print(f"=== {benchmark} ===")
+            print(
+                f"  frontier: {len(front)} designs across {args.bins} "
+                "delay bins"
+            )
+            print(
+                f"  bips^3/w optimum: {render_design_point(best.points[0])}"
+            )
+            print(
+                f"    bips={best.bips[0]:.3f}  watts={best.watts[0]:.2f}  "
+                f"efficiency={best.efficiency[0]:.4g}"
+            )
+            print(
+                f"  throughput: {report.points_per_second:,.0f} points/s "
+                f"({report.elapsed_seconds * 1e3:.0f} ms)"
+            )
+            if report.run_report is not None:
+                print(f"  execution: {report.run_report.summary()}")
+    if args.metrics:
+        campaign = getattr(ctx, "_campaign", None)
+        if campaign is not None and campaign.run_report is not None:
+            worker_metrics.append(campaign.run_report.metrics)
+        _print_metrics(mark, *worker_metrics)
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    """Aggregate a trace per span name (count, total/mean/p95 wall, CPU)."""
+    from .obs import TraceError, read_trace, render_summary
+
+    try:
+        records = read_trace(args.path)
+    except (OSError, TraceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_summary(records))
+    return 0
+
+
+def _cmd_trace_tree(args: argparse.Namespace) -> int:
+    """Render a trace as a slowest-path span tree."""
+    from .obs import TraceError, read_trace, render_tree
+
+    try:
+        records = read_trace(args.path)
+    except (OSError, TraceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_tree(records, max_depth=args.depth))
+    return 0
+
+
+def _cmd_trace_validate(args: argparse.Namespace) -> int:
+    """Strictly validate every trace line (schema + checksums)."""
+    from .obs import TraceError, read_trace
+
+    try:
+        records = read_trace(args.path, strict=True)
+    except (OSError, TraceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    spans = sum(1 for r in records if r["kind"] == "span")
+    events = len(records) - spans
+    print(f"{args.path}: OK ({spans} spans, {events} events)")
     return 0
 
 
@@ -394,6 +603,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     if not hasattr(args, "func"):
         parser.print_help()
         return 1

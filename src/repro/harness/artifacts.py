@@ -24,6 +24,8 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..designspace import DesignPoint, DesignSpace, sampling_space
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
 from ..simulator import Simulator
 from ..workloads import BENCHMARK_NAMES
 from .campaign import Campaign, run_campaign
@@ -75,6 +77,11 @@ def _campaign_key(
 
 def save_campaign(campaign: Campaign, path: Path) -> None:
     """Serialize a campaign (points + metric columns) to JSON."""
+    with get_tracer().span("artifacts.save", path=str(path)):
+        _save_campaign(campaign, path)
+
+
+def _save_campaign(campaign: Campaign, path: Path) -> None:
     payload = {
         "version": CACHE_VERSION,
         "space": campaign.space.name,
@@ -118,6 +125,13 @@ def load_campaign(
     path: Path, space: DesignSpace, scale: ScalePreset
 ) -> Campaign:
     """Deserialize a campaign; raises ArtifactError on any mismatch."""
+    with get_tracer().span("artifacts.load", path=str(path)):
+        return _load_campaign(path, space, scale)
+
+
+def _load_campaign(
+    path: Path, space: DesignSpace, scale: ScalePreset
+) -> Campaign:
     try:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as error:
@@ -206,6 +220,10 @@ def quarantine_artifact(path: Path, reason: str) -> Optional[Path]:
     (the artifact is then left in place and will be overwritten).
     """
     target = path.with_suffix(path.suffix + ".corrupt")
+    get_registry().increment("artifacts.quarantined")
+    get_tracer().event(
+        "artifacts.quarantine", path=str(path), reason=reason
+    )
     try:
         os.replace(path, target)
     except OSError as error:
@@ -245,11 +263,16 @@ def cached_campaign(
     names = tuple(benchmarks or BENCHMARK_NAMES)
     key = _campaign_key(scale, space, names, simulator.memory_mode)
     path = cache_dir() / f"campaign-{scale.name}-{key}.json"
+    registry = get_registry()
     if path.exists() and not refresh:
         try:
-            return load_campaign(path, space, scale)
+            campaign = load_campaign(path, space, scale)
         except ArtifactError as error:
             quarantine_artifact(path, str(error))
+        else:
+            registry.increment("artifacts.cache.hits")
+            return campaign
+    registry.increment("artifacts.cache.misses")
     if resilience is not None and resilience.journal_path is None:
         journal_path = path.with_suffix(".journal.jsonl")
         resilience = ResilienceConfig(

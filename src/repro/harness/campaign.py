@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..designspace import DesignPoint, DesignSpace, sample_uar, sampling_space
+from ..obs.tracing import get_tracer
 from ..regression import FittedModel, fit_ols, performance_spec, power_spec
 from ..simulator import Simulator
 from ..workloads import BENCHMARK_NAMES, get_profile
@@ -273,30 +274,52 @@ def run_campaign(
         validation_points=validation_points,
     )
     splits = (("train", train_points), ("validation", validation_points))
-    if workers > 1 or resilience is not None:
-        return _run_campaign_resilient(
-            campaign,
-            simulator,
-            scale,
-            space,
-            names,
-            splits,
-            progress,
-            workers,
-            resilience or ResilienceConfig(),
-        )
+    tracer = get_tracer()
+    with tracer.span(
+        "campaign.run",
+        benchmarks=list(names),
+        n_train=scale.n_train,
+        n_validation=scale.n_validation,
+        workers=workers,
+    ):
+        if workers > 1 or resilience is not None:
+            return _run_campaign_resilient(
+                campaign,
+                simulator,
+                scale,
+                space,
+                names,
+                splits,
+                progress,
+                workers,
+                resilience or ResilienceConfig(),
+            )
 
-    for benchmark in names:
-        profile = get_profile(benchmark)
-        trace = simulator.trace_for(profile, scale.trace_length, seed=scale.seed)
-        for split, split_points in splits:
-            results = []
-            for i, point in enumerate(split_points):
-                results.append(simulator.simulate_point(space, point, trace))
-                if progress is not None:
-                    progress(benchmark, split, i + 1, len(split_points))
-            dataset = Dataset.from_results(benchmark, space, split_points, results)
-            getattr(campaign, split)[benchmark] = dataset
+        for benchmark in names:
+            profile = get_profile(benchmark)
+            trace = simulator.trace_for(
+                profile, scale.trace_length, seed=scale.seed
+            )
+            for split, split_points in splits:
+                with tracer.span(
+                    "campaign.split",
+                    benchmark=benchmark,
+                    split=split,
+                    points=len(split_points),
+                ):
+                    results = []
+                    for i, point in enumerate(split_points):
+                        results.append(
+                            simulator.simulate_point(space, point, trace)
+                        )
+                        if progress is not None:
+                            progress(
+                                benchmark, split, i + 1, len(split_points)
+                            )
+                dataset = Dataset.from_results(
+                    benchmark, space, split_points, results
+                )
+                getattr(campaign, split)[benchmark] = dataset
     return campaign
 
 

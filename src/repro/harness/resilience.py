@@ -53,6 +53,9 @@ from typing import (
     Tuple,
 )
 
+from ..obs.metrics import isolated_registry, merge_snapshots
+from ..obs.tracing import Stopwatch, get_tracer
+
 logger = logging.getLogger(__name__)
 
 #: Bump when the journal line format changes.
@@ -141,12 +144,31 @@ def _corrupt_payload(payload):
     return None
 
 
+@dataclass
+class _ChunkEnvelope:
+    """What :func:`_run_chunk` ships back alongside the chunk payload.
+
+    ``metrics`` is the chunk's :mod:`repro.obs` registry snapshot —
+    captured in an isolated registry so it holds exactly this chunk's
+    contribution wherever the chunk ran; ``wall_s``/``cpu_s`` are the
+    chunk's own timings, replayed into the driver's trace as a
+    ``resilience.chunk`` span.
+    """
+
+    payload: object
+    metrics: Optional[dict] = None
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+
+
 def _run_chunk(fn: Callable, args: tuple, fault_kind: Optional[str]):
     """Worker entrypoint: apply any injected fault, then run the chunk.
 
     This is the single choke point every chunk of every resilient run
     passes through, in-process or in a pool worker — which is what makes
     :class:`FaultPlan` able to exercise each recovery path for real.
+    Successful chunks return a :class:`_ChunkEnvelope` wrapping the
+    payload with the chunk's metrics snapshot and timings.
     """
     if fault_kind == "transient":
         raise TransientWorkerError("injected transient fault")
@@ -157,10 +179,18 @@ def _run_chunk(fn: Callable, args: tuple, fault_kind: Optional[str]):
     if fault_kind == "hang":
         while True:  # until the driver's chunk timeout terminates us
             time.sleep(0.05)
-    result = fn(*args)
+    with isolated_registry() as registry:
+        with Stopwatch() as watch:
+            result = fn(*args)
+        snapshot = registry.snapshot()
     if fault_kind == "corrupt":
-        return _corrupt_payload(result)
-    return result
+        result = _corrupt_payload(result)
+    return _ChunkEnvelope(
+        payload=result,
+        metrics=snapshot,
+        wall_s=watch.wall_s,
+        cpu_s=watch.cpu_s,
+    )
 
 
 # -- retry policy --------------------------------------------------------------
@@ -281,6 +311,15 @@ class RunReport:
     restored from the journal (``resumed``); ``retried`` counts chunks
     that needed more than one attempt; ``failure`` names the aborting
     chunk when the run raised :class:`ChunkFailure`.
+
+    ``metrics`` is the merged :mod:`repro.obs` snapshot of every
+    completed chunk's contribution — shipped back from pool workers in
+    result envelopes, restored from the journal for resumed chunks, so
+    the account covers the whole logical run with no double counting
+    (failed attempts' metrics are discarded).  ``events`` lists the
+    structured occurrences (``resilience.retry``, ``.pool_restart``,
+    ``.degraded``, ``.resumed``, ``.chunk_failed``) that also land in
+    the trace when tracing is active.
     """
 
     total_chunks: int
@@ -292,6 +331,8 @@ class RunReport:
     elapsed_seconds: float = 0.0
     failure: Optional[str] = None
     chunks: List[ChunkRecord] = field(default_factory=list)
+    metrics: Optional[dict] = None
+    events: List[dict] = field(default_factory=list)
 
     def summary(self) -> str:
         """One-line human-readable account of the run."""
@@ -345,11 +386,13 @@ class Journal:
         fingerprint: str,
         completed: Dict[int, object],
         attempts: Dict[int, int],
+        metrics: Optional[Dict[int, dict]] = None,
     ):
         self.path = Path(path)
         self.fingerprint = fingerprint
         self.completed = completed
         self.attempts = attempts
+        self.metrics = metrics if metrics is not None else {}
 
     @classmethod
     def open(cls, path, fingerprint: str) -> "Journal":
@@ -362,6 +405,7 @@ class Journal:
         path = Path(path)
         completed: Dict[int, object] = {}
         attempts: Dict[int, int] = {}
+        metrics: Dict[int, dict] = {}
         if path.exists():
             loaded = cls._read(path, fingerprint)
             if loaded is None:
@@ -370,7 +414,7 @@ class Journal:
                 )
                 path.unlink()
             else:
-                completed, attempts = loaded
+                completed, attempts, metrics = loaded
         if not path.exists():
             header = {
                 "kind": "header",
@@ -378,13 +422,14 @@ class Journal:
                 "fingerprint": fingerprint,
             }
             cls._append(path, header)
-        return cls(path, fingerprint, completed, attempts)
+        return cls(path, fingerprint, completed, attempts, metrics)
 
     @staticmethod
     def _read(path: Path, fingerprint: str):
         """Parse a journal; None when the header does not match."""
         completed: Dict[int, object] = {}
         attempts: Dict[int, int] = {}
+        metrics: Dict[int, dict] = {}
         try:
             lines = path.read_text().splitlines()
         except OSError:
@@ -421,9 +466,12 @@ class Journal:
         for body in entries[1:]:
             if body.get("kind") != "chunk" or "index" not in body:
                 continue
-            completed[int(body["index"])] = body.get("payload")
-            attempts[int(body["index"])] = int(body.get("attempts", 1))
-        return completed, attempts
+            index = int(body["index"])
+            completed[index] = body.get("payload")
+            attempts[index] = int(body.get("attempts", 1))
+            if body.get("metrics") is not None:
+                metrics[index] = body["metrics"]
+        return completed, attempts, metrics
 
     @staticmethod
     def _append(path: Path, body: dict) -> None:
@@ -435,19 +483,28 @@ class Journal:
         finally:
             os.close(fd)
 
-    def record(self, index: int, attempts: int, payload) -> None:
-        """Durably record one completed chunk (atomic append + fsync)."""
-        self._append(
-            self.path,
-            {
-                "kind": "chunk",
-                "index": index,
-                "attempts": attempts,
-                "payload": payload,
-            },
-        )
+    def record(
+        self, index: int, attempts: int, payload, metrics: Optional[dict] = None
+    ) -> None:
+        """Durably record one completed chunk (atomic append + fsync).
+
+        ``metrics`` (the chunk's obs snapshot) rides along so a resumed
+        run restores the chunk's metrics contribution exactly once —
+        the field is optional, keeping older journals readable.
+        """
+        body = {
+            "kind": "chunk",
+            "index": index,
+            "attempts": attempts,
+            "payload": payload,
+        }
+        if metrics is not None:
+            body["metrics"] = metrics
+        self._append(self.path, body)
         self.completed[index] = payload
         self.attempts[index] = attempts
+        if metrics is not None:
+            self.metrics[index] = metrics
 
     def discard(self) -> None:
         """Delete the journal file (the run it covered completed)."""
@@ -457,6 +514,7 @@ class Journal:
             logger.debug("journal %s already removed", self.path)
         self.completed = {}
         self.attempts = {}
+        self.metrics = {}
 
 
 # -- the resilient executor ----------------------------------------------------
@@ -537,7 +595,22 @@ class _ChunkRunner:
     def _meta_tag(self, task: ChunkTask) -> str:
         return f" {task.meta}" if task.meta else ""
 
-    def _complete(self, task: ChunkTask, attempt: int, payload) -> None:
+    def _event(self, name: str, **attrs) -> None:
+        """Record a structured occurrence in the report and the trace."""
+        self.report.events.append({"name": name, "attrs": attrs})
+        get_tracer().event(name, **attrs)
+
+    @staticmethod
+    def _as_envelope(result) -> _ChunkEnvelope:
+        """Normalize a chunk result (envelopes come from `_run_chunk`)."""
+        if isinstance(result, _ChunkEnvelope):
+            return result
+        return _ChunkEnvelope(payload=result)
+
+    def _complete(
+        self, task: ChunkTask, attempt: int, envelope: _ChunkEnvelope
+    ) -> None:
+        payload = envelope.payload
         record = self.records[task.index]
         record.status = "completed"
         record.attempts = attempt
@@ -545,9 +618,25 @@ class _ChunkRunner:
             self.report.retried += 1
         self.report.completed += 1
         self._done[task.index] = True
+        if envelope.metrics is not None:
+            # Merge only after validation passed: a corrupt or retried
+            # attempt's metrics never reach the report.
+            self.report.metrics = merge_snapshots(
+                self.report.metrics, envelope.metrics
+            )
+        get_tracer().record_span(
+            "resilience.chunk",
+            envelope.wall_s,
+            envelope.cpu_s,
+            chunk=task.index,
+            attempts=attempt,
+            meta=[str(m) for m in task.meta],
+        )
         if self.journal is not None:
             encoded = self.encode(payload) if self.encode else payload
-            self.journal.record(task.index, attempt, encoded)
+            self.journal.record(
+                task.index, attempt, encoded, metrics=envelope.metrics
+            )
         if self.keep_results:
             self.results[task.index] = payload
         if self.on_chunk is not None:
@@ -568,11 +657,27 @@ class _ChunkRunner:
                 record,
                 f"exhausted {self.policy.max_attempts} attempts: {error}",
             )
+        self._event(
+            "resilience.retry",
+            chunk=task.index,
+            attempt=attempt,
+            error=f"{type(error).__name__}: {error}",
+        )
+        logger.info(
+            "retrying chunk %d%s after attempt %d: %s",
+            task.index,
+            self._meta_tag(task),
+            attempt,
+            error,
+        )
 
     def _abort(self, task, record, reason) -> None:
         record.status = "failed"
         message = f"chunk {task.index}{self._meta_tag(task)} failed: {reason}"
         self.report.failure = message
+        self._event(
+            "resilience.chunk_failed", chunk=task.index, reason=reason
+        )
         raise ChunkFailure(message, self.report)
 
     def _check(self, task: ChunkTask, payload) -> None:
@@ -596,10 +701,20 @@ class _ChunkRunner:
             self.report.resumed += 1
             self.report.completed += 1
             self._done[task.index] = True
+            journal_metrics = self.journal.metrics.get(task.index)
+            if journal_metrics is not None:
+                # The chunk's metrics were journaled when it first
+                # completed; restoring them here (and nowhere else)
+                # keeps the merged account exact across resumes.
+                self.report.metrics = merge_snapshots(
+                    self.report.metrics, journal_metrics
+                )
             if self.keep_results:
                 self.results[task.index] = payload
             if self.on_chunk is not None:
                 self.on_chunk(task, record, payload)
+        if self.report.resumed:
+            self._event("resilience.resumed", chunks=self.report.resumed)
 
     # -- serial execution --------------------------------------------------
 
@@ -611,8 +726,10 @@ class _ChunkRunner:
                 attempt += 1
                 fault = self._fault_for(task, attempt, in_process=True)
                 try:
-                    payload = _run_chunk(task.fn, task.args, fault)
-                    self._check(task, payload)
+                    envelope = self._as_envelope(
+                        _run_chunk(task.fn, task.args, fault)
+                    )
+                    self._check(task, envelope.payload)
                 except ChunkFailure:
                     raise
                 except Exception as error:
@@ -621,7 +738,7 @@ class _ChunkRunner:
                     if delay > 0:
                         time.sleep(delay)
                     continue
-                self._complete(task, attempt, payload)
+                self._complete(task, attempt, envelope)
                 break
 
     # -- parallel execution ------------------------------------------------
@@ -637,8 +754,18 @@ class _ChunkRunner:
         inflight.clear()
         _shutdown_pool(executor, terminate=True)
         self.report.pool_restarts += 1
+        self._event(
+            "resilience.pool_restart",
+            count=self.report.pool_restarts,
+            budget=self.policy.max_pool_restarts,
+        )
         if self.report.pool_restarts > self.policy.max_pool_restarts:
             return None
+        logger.info(
+            "restarting worker pool (%d/%d)",
+            self.report.pool_restarts,
+            self.policy.max_pool_restarts,
+        )
         return ProcessPoolExecutor(max_workers=self.workers)
 
     def _run_parallel(self, pending: Sequence[Tuple[ChunkTask, int]]) -> None:
@@ -698,8 +825,8 @@ class _ChunkRunner:
                     for future in done:
                         task, attempt, _ = inflight.pop(future)
                         try:
-                            payload = future.result()
-                            self._check(task, payload)
+                            envelope = self._as_envelope(future.result())
+                            self._check(task, envelope.payload)
                         except BrokenProcessPool as error:
                             pool_failed = True
                             self._record_failure(task, attempt, error)
@@ -726,7 +853,7 @@ class _ChunkRunner:
                                 )
                             )
                         else:
-                            self._complete(task, attempt, payload)
+                            self._complete(task, attempt, envelope)
                     now = time.monotonic()
                     for future, (task, attempt, deadline) in list(
                         inflight.items()
@@ -762,15 +889,21 @@ class _ChunkRunner:
                     executor = self._restart_pool(executor, inflight, queue)
                     if executor is None:
                         self.report.degraded = True
-                        logger.warning(
-                            "worker pool broke %d times; running remaining "
-                            "chunks serially in-process",
-                            self.report.pool_restarts,
-                        )
                         remaining = list(queue) + [
                             (task, attempts_done)
                             for _, task, attempts_done in waiting
                         ]
+                        self._event(
+                            "resilience.degraded",
+                            pool_restarts=self.report.pool_restarts,
+                            remaining_chunks=len(remaining),
+                        )
+                        logger.warning(
+                            "worker pool broke %d times; running remaining "
+                            "%d chunk(s) serially in-process",
+                            self.report.pool_restarts,
+                            len(remaining),
+                        )
                         self._run_serial(remaining)
                         break
             aborted = False
@@ -782,21 +915,31 @@ class _ChunkRunner:
     # -- entry point -------------------------------------------------------
 
     def run(self) -> Tuple[Optional[List[object]], RunReport]:
-        started = time.perf_counter()
-        try:
-            self._resume_from_journal()
-            pending = [
-                (task, 0)
-                for task in self.tasks
-                if not self._done.get(task.index)
-            ]
-            if pending:
-                if self.workers > 1:
-                    self._run_parallel(pending)
-                else:
-                    self._run_serial(pending)
-        finally:
-            self.report.elapsed_seconds = time.perf_counter() - started
+        watch = Stopwatch().start()
+        with get_tracer().span(
+            "resilience.run",
+            chunks=len(self.tasks),
+            workers=self.workers,
+        ) as root:
+            try:
+                self._resume_from_journal()
+                pending = [
+                    (task, 0)
+                    for task in self.tasks
+                    if not self._done.get(task.index)
+                ]
+                if pending:
+                    if self.workers > 1:
+                        self._run_parallel(pending)
+                    else:
+                        self._run_serial(pending)
+            finally:
+                self.report.elapsed_seconds = watch.stop().wall_s
+                root.set_attr("completed", self.report.completed)
+                root.set_attr("resumed", self.report.resumed)
+                root.set_attr("retried", self.report.retried)
+                root.set_attr("pool_restarts", self.report.pool_restarts)
+                root.set_attr("degraded", self.report.degraded)
         ordered = (
             [self.results[task.index] for task in self.tasks]
             if self.keep_results
@@ -841,6 +984,12 @@ def run_chunks(
       retryable failure.
     - ``on_chunk(task, record, payload)`` fires as chunks complete (in
       completion order, not task order).
+    - Each chunk runs inside an isolated :mod:`repro.obs` metrics
+      registry; the snapshots ship back with the payloads and merge into
+      ``report.metrics`` (journaled chunks restore theirs on resume, so
+      the account is exact with no double counting).  Retries, pool
+      restarts, and degradation land in ``report.events`` and — when
+      tracing is configured — in the trace.
     """
     runner = _ChunkRunner(
         tasks=tasks,

@@ -29,7 +29,6 @@ the Study-1 code share one implementation.
 from __future__ import annotations
 
 import hashlib
-import time
 from dataclasses import dataclass, field
 from typing import (
     Dict,
@@ -44,6 +43,8 @@ import numpy as np
 from ..designspace import DesignPoint, DesignSpace
 from ..designspace.parameters import ParameterError
 from ..metrics import bips3_per_watt, delay_seconds
+from ..obs.metrics import get_registry, merge_snapshots
+from ..obs.tracing import Stopwatch, get_tracer
 from ..regression import FittedModel
 from .resilience import (
     ChunkTask,
@@ -887,6 +888,10 @@ class SweepReport:
     #: Execution accounting when the sweep went through the resilient
     #: executor (retries, resumes, degradation); None on the serial path.
     run_report: Optional[RunReport] = None
+    #: Merged :mod:`repro.obs` metrics for this sweep: the driver's own
+    #: contribution (reduction, serial prediction) plus every worker
+    #: chunk's snapshot shipped back through the resilient executor.
+    metrics: Optional[dict] = None
 
     @property
     def points_per_second(self) -> float:
@@ -940,12 +945,17 @@ def _sweep_chunk(
     points/indices, so fan-out ships O(chunk) data per task.  Returns
     ``(global_start, bips, watts, raw)`` per block.
     """
+    registry = get_registry()
     payloads = []
     for start, stop in _block_ranges(len(chunk), block_size):
-        bips, watts, raw = _evaluate_range(
-            predictor, chunk, start, stop, columns
-        )
+        with Stopwatch() as watch:
+            bips, watts, raw = _evaluate_range(
+                predictor, chunk, start, stop, columns
+            )
         payloads.append((offset + start, bips, watts, raw))
+        registry.increment("sweep.points", stop - start)
+        registry.increment("sweep.blocks")
+        registry.observe("sweep.predict_block.seconds", watch.wall_s)
     return payloads
 
 
@@ -1088,10 +1098,17 @@ def _run_sweep_resilient(
     parked: Dict[int, list] = {}
 
     def consume(payload) -> None:
+        registry = get_registry()
         for start, bips, watts, raw in payload:
             block = _make_block(predictor, start, bips, watts, raw)
-            for reducer in reducers:
-                reducer.update(block)
+            with get_tracer().span(
+                "sweep.reduce_block", start=start, size=len(block)
+            ) as reduce_span:
+                for reducer in reducers:
+                    reducer.update(block)
+            registry.observe(
+                "sweep.reduce_block.seconds", reduce_span.wall_s
+            )
             state["done"] += len(block)
         if progress is not None:
             progress(predictor.benchmark, state["done"], total)
@@ -1151,42 +1168,68 @@ def run_sweep(
         dict.fromkeys(name for r in reducers for name in r.columns)
     )
     total = len(source)
-    started = time.perf_counter()
+    tracer = get_tracer()
+    registry = get_registry()
+    mark = registry.snapshot()
     run_report = None
 
-    if resilience is not None or (workers > 1 and total > block_size):
-        run_report = _run_sweep_resilient(
-            predictor,
-            source,
-            reducers,
-            block_size,
-            workers,
-            progress,
-            columns,
-            resilience or ResilienceConfig(),
-        )
-    else:
-        done = 0
-        for start, stop in _block_ranges(total, block_size):
-            bips, watts, raw = _evaluate_range(
-                predictor, source, start, stop, columns
+    with tracer.span(
+        "sweep.run",
+        benchmark=predictor.benchmark,
+        n_points=total,
+        block_size=block_size,
+        workers=workers,
+    ) as root:
+        if resilience is not None or (workers > 1 and total > block_size):
+            run_report = _run_sweep_resilient(
+                predictor,
+                source,
+                reducers,
+                block_size,
+                workers,
+                progress,
+                columns,
+                resilience or ResilienceConfig(),
             )
-            block = _make_block(predictor, start, bips, watts, raw)
-            for reducer in reducers:
-                reducer.update(block)
-            done += len(block)
-            if progress is not None:
-                progress(predictor.benchmark, done, total)
+        else:
+            done = 0
+            for start, stop in _block_ranges(total, block_size):
+                with tracer.span(
+                    "sweep.predict_block", start=start, size=stop - start
+                ) as predict_span:
+                    bips, watts, raw = _evaluate_range(
+                        predictor, source, start, stop, columns
+                    )
+                    block = _make_block(predictor, start, bips, watts, raw)
+                with tracer.span(
+                    "sweep.reduce_block", start=start, size=len(block)
+                ) as reduce_span:
+                    for reducer in reducers:
+                        reducer.update(block)
+                registry.increment("sweep.points", len(block))
+                registry.increment("sweep.blocks")
+                registry.observe(
+                    "sweep.predict_block.seconds", predict_span.wall_s
+                )
+                registry.observe(
+                    "sweep.reduce_block.seconds", reduce_span.wall_s
+                )
+                done += len(block)
+                if progress is not None:
+                    progress(predictor.benchmark, done, total)
 
-    elapsed = time.perf_counter() - started
     return SweepReport(
         benchmark=predictor.benchmark,
         n_points=total,
         block_size=block_size,
         workers=workers,
-        elapsed_seconds=elapsed,
+        elapsed_seconds=root.wall_s,
         results=[reducer.finalize(source) for reducer in reducers],
         run_report=run_report,
+        metrics=merge_snapshots(
+            registry.delta(mark),
+            run_report.metrics if run_report is not None else None,
+        ),
     )
 
 

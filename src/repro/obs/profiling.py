@@ -1,0 +1,80 @@
+"""Opt-in profiling hooks: cProfile wrapped around a traced region.
+
+Profiling is the expensive pillar — a deterministic ``cProfile`` run
+slows python code substantially — so it never runs implicitly.  Wrap
+the region of interest explicitly:
+
+    from repro.obs import profile
+
+    with profile("sweep-hotpath", top=15) as prof:
+        run_sweep(predictor, source, reducers)
+    print(prof.report)
+
+The formatted ``pstats`` output (top functions by cumulative time) is
+captured on the handle, attached to the enclosing trace span as a
+``profile`` attribute when tracing is active, and optionally written to
+``path`` for offline ``pstats`` analysis.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .tracing import get_tracer
+
+__all__ = ["ProfileHandle", "profile"]
+
+
+class ProfileHandle:
+    """Result of one :func:`profile` block."""
+
+    __slots__ = ("name", "report", "stats")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.report: str = ""
+        self.stats: Optional[pstats.Stats] = None
+
+    def top_functions(self, n: int = 10) -> str:
+        """Formatted top-``n`` functions by cumulative time."""
+        if self.stats is None:
+            return ""
+        buffer = io.StringIO()
+        stats = self.stats
+        stats.stream = buffer
+        stats.sort_stats("cumulative").print_stats(n)
+        return buffer.getvalue()
+
+
+@contextmanager
+def profile(
+    name: str, top: int = 20, path: Optional[str] = None
+) -> Iterator[ProfileHandle]:
+    """Profile the ``with`` block under a span named ``profile.<name>``.
+
+    ``top`` bounds the formatted report attached to the span (full
+    stats remain on the handle); ``path``, if given, receives the raw
+    ``cProfile`` dump for ``pstats``/``snakeviz``-style tooling.
+    """
+    handle = ProfileHandle(name)
+    profiler = cProfile.Profile()
+    tracer = get_tracer()
+    with tracer.span(f"profile.{name}") as span:
+        profiler.enable()
+        try:
+            yield handle
+        finally:
+            profiler.disable()
+            buffer = io.StringIO()
+            stats = pstats.Stats(profiler, stream=buffer)
+            stats.sort_stats("cumulative").print_stats(top)
+            handle.stats = stats
+            handle.report = buffer.getvalue()
+            if path is not None:
+                profiler.dump_stats(path)
+                span.set_attr("dump", str(path))
+            span.set_attr("profile", handle.report)

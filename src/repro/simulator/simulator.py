@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from ..designspace import DesignPoint, DesignSpace
+from ..obs.metrics import get_registry
+from ..obs.tracing import Stopwatch, get_tracer
 from ..power import PowerModel
 from ..workloads import Trace, WorkloadProfile, generate_trace
 from .branch import build_predictor
@@ -66,7 +68,14 @@ class Simulator:
         """Generate (and memoize) the synthetic trace for a profile."""
         key = (profile.name, length, seed)
         if key not in self._trace_cache:
-            self._trace_cache[key] = generate_trace(profile, length, seed)
+            with get_tracer().span(
+                "simulator.trace_for",
+                benchmark=profile.name,
+                length=length,
+                seed=seed,
+            ):
+                self._trace_cache[key] = generate_trace(profile, length, seed)
+            get_registry().increment("simulator.traces_generated")
         return self._trace_cache[key]
 
     # -- simulation ------------------------------------------------------------
@@ -75,6 +84,10 @@ class Simulator:
         self, trace: Trace, config: MachineConfig
     ) -> SimulationResult:
         """Run one trace on one machine; returns a result with power attached."""
+        # Per-simulation cost lands in the metrics registry (histogram +
+        # counters), not a span: campaigns run hundreds of simulations
+        # per split and a span per cycle loop would swamp the trace.
+        watch = Stopwatch().start()
         if self.memory_mode == "functional":
             memory = FunctionalMemory(
                 build_hierarchy(
@@ -101,7 +114,14 @@ class Simulator:
             config_summary=config.describe(),
             ref_instructions=trace.ref_instructions,
         )
-        return self.power_model.evaluate(config, result)
+        evaluated = self.power_model.evaluate(config, result)
+        watch.stop()
+        registry = get_registry()
+        registry.increment("simulator.simulations")
+        registry.increment("simulator.instructions", len(trace))
+        registry.increment("simulator.cycles", float(outcome.cycles))
+        registry.observe("simulator.simulate.seconds", watch.wall_s)
+        return evaluated
 
     def _warm_structures(self, trace: Trace, memory, predictor) -> None:
         """Functional warming: replay access streams, then reset counters.

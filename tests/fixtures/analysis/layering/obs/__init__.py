@@ -1,0 +1,8 @@
+"""Package __init__ whose relative import shadows a ranked sibling name.
+
+``from .metrics import ...`` here targets ``obs.metrics`` (this package's
+own module), not the top-level ranked ``metrics`` package — LAY001 must
+stay silent.
+"""
+
+from .metrics import merge_snapshots  # noqa: F401

@@ -1,0 +1,16 @@
+"""Harness timing via raw clocks — OBS001 fires on each call."""
+
+import time
+from time import perf_counter
+
+
+def measure(fn):
+    started = time.perf_counter()
+    fn()
+    return time.process_time() - started
+
+
+def quick(fn):
+    t0 = perf_counter()
+    fn()
+    return perf_counter() - t0

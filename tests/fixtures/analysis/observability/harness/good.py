@@ -1,0 +1,16 @@
+"""Scheduling clocks and obs-based timing — OBS001 stays silent."""
+
+import time
+
+from repro.obs.tracing import Stopwatch
+
+
+def wait_until(deadline):
+    while time.monotonic() < deadline:
+        time.sleep(0.01)
+
+
+def timed(fn):
+    with Stopwatch() as watch:
+        fn()
+    return watch.wall_s

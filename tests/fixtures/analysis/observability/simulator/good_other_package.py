@@ -1,0 +1,9 @@
+"""Raw clocks outside the harness package are not OBS001's business."""
+
+import time
+
+
+def measure(fn):
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started

@@ -88,6 +88,12 @@ class TestLayering:
             f for f in report.findings if "good_downward" in f.path
         ]
 
+    def test_package_init_relative_import_resolves_in_package(self):
+        # ``obs/__init__.py`` does ``from .metrics import ...``: that is
+        # obs's own submodule, not the ranked top-level ``metrics``.
+        report = run("layering")
+        assert not [f for f in report.findings if "__init__" in f.path]
+
 
 class TestContracts:
     def test_dead_phantom_and_unknown_fire_exactly(self):
@@ -118,6 +124,20 @@ class TestHygiene:
     def test_good_fixture_is_silent(self):
         report = run("hygiene")
         assert not [f for f in report.findings if f.path == "good.py"]
+
+
+class TestObservability:
+    def test_bad_fixture_fires_exactly(self):
+        assert hits(run("observability")) == [
+            ("OBS001", "harness/bad_raw_clock.py", 8),
+            ("OBS001", "harness/bad_raw_clock.py", 10),
+            ("OBS001", "harness/bad_raw_clock.py", 14),
+            ("OBS001", "harness/bad_raw_clock.py", 16),
+        ]
+
+    def test_obs_timing_and_other_packages_are_silent(self):
+        report = run("observability")
+        assert not [f for f in report.findings if "good" in f.path]
 
 
 class TestAcceptanceTriple:
@@ -227,7 +247,7 @@ class TestRunnerAndReporting:
         expected = {
             "DET001", "DET002", "NUM001", "NUM002", "NUM003",
             "LAY001", "CON001", "CON002", "CON003",
-            "HYG001", "HYG002", "HYG003",
+            "HYG001", "HYG002", "HYG003", "OBS001",
         }
         assert set(ids) == expected
         for rule in rules:

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.regression",
     "repro.cluster",
     "repro.metrics",
+    "repro.obs",
     "repro.studies",
     "repro.harness",
     "repro.baselines",

@@ -94,6 +94,94 @@ class TestResilienceFlags:
         assert config.resume is False
 
 
+class TestObservabilityFlags:
+    def test_run_and_sweep_parsers_accept_trace_and_metrics(self):
+        args = build_parser().parse_args(
+            ["run", "T1", "--trace", "out.jsonl", "--metrics"]
+        )
+        assert args.trace == "out.jsonl" and args.metrics is True
+        args = build_parser().parse_args(
+            ["sweep", "--space", "sampling", "--trace", "t.jsonl"]
+        )
+        assert args.space == "sampling" and args.trace == "t.jsonl"
+        assert args.metrics is False
+
+    def test_verbosity_flags_set_log_level(self):
+        import logging
+
+        from repro.cli import _configure_logging
+
+        logger = logging.getLogger("repro")
+        _configure_logging(verbose=0, quiet=False)
+        assert logger.level == logging.WARNING
+        _configure_logging(verbose=1, quiet=False)
+        assert logger.level == logging.INFO
+        _configure_logging(verbose=2, quiet=False)
+        assert logger.level == logging.DEBUG
+        _configure_logging(verbose=0, quiet=True)
+        assert logger.level == logging.ERROR
+        # idempotent: repeated configuration adds no duplicate handlers
+        _configure_logging(verbose=0, quiet=False)
+        marked = [
+            h for h in logger.handlers
+            if getattr(h, "_repro_cli", False)
+        ]
+        assert len(marked) == 1
+
+    def test_run_with_trace_writes_valid_file(
+        self, ctx, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setattr(experiments, "_CONTEXTS", {ctx.scale.name: ctx})
+        monkeypatch.setattr(
+            "repro.cli.get_scale", lambda name=None: ctx.scale
+        )
+        trace_path = tmp_path / "run.jsonl"
+        assert main(
+            ["run", "T1", "--trace", str(trace_path), "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "--- metrics ---" in out
+        assert trace_path.exists()
+        assert main(["trace", "validate", str(trace_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_trace_summary_and_tree(self, tmp_path, capsys):
+        from repro.obs import configure_tracing, disable_tracing, get_tracer
+
+        path = tmp_path / "t.jsonl"
+        configure_tracing(path)
+        with get_tracer().span("outer"):
+            with get_tracer().span("inner"):
+                pass
+        disable_tracing()
+        assert main(["trace", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "outer" in out and "inner" in out and "2 spans" in out
+        assert main(["trace", "tree", str(path)]) == 0
+        tree = capsys.readouterr().out
+        assert "outer" in tree and "└─" in tree
+
+    def test_trace_commands_fail_cleanly_on_missing_file(self, capsys):
+        assert main(["trace", "summary", "/no/such/trace.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+
+    def test_trace_validate_rejects_corruption(self, tmp_path, capsys):
+        from repro.obs import configure_tracing, disable_tracing, get_tracer
+
+        path = tmp_path / "t.jsonl"
+        configure_tracing(path)
+        with get_tracer().span("ok"):
+            pass
+        disable_tracing()
+        lines = path.read_text().splitlines()
+        lines[-1] = lines[-1].replace('"ok"', '"KO"')
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["trace", "validate", str(path)]) == 2
+        assert "checksum" in capsys.readouterr().err
+
+
 class TestErrorHygiene:
     """Expected operational errors print one line and exit 2."""
 

@@ -209,6 +209,11 @@ class TestRunChunksSerial:
         assert results == _expected(tasks)
         assert report.retried == 1
         assert "CorruptResultError" in report.chunks[3].errors[0]
+        retries = [
+            e for e in report.events if e["name"] == "resilience.retry"
+        ]
+        assert len(retries) == 1
+        assert retries[0]["attrs"]["chunk"] == 3
 
     def test_corrupt_payload_without_validator_passes_through(self):
         # the validator is the contract: without one, corruption is silent
@@ -237,6 +242,10 @@ class TestRunChunksParallel:
         results, report = run_chunks(tasks, workers=2, faults=faults)
         assert results == _expected(tasks)
         assert report.pool_restarts >= 1
+        restarts = [
+            e for e in report.events if e["name"] == "resilience.pool_restart"
+        ]
+        assert len(restarts) == report.pool_restarts
 
     def test_repeated_pool_breakage_degrades_to_serial(self):
         tasks = _tasks(n_chunks=4)
@@ -247,6 +256,11 @@ class TestRunChunksParallel:
         )
         assert results == _expected(tasks)
         assert report.degraded
+        degraded = [
+            e for e in report.events if e["name"] == "resilience.degraded"
+        ]
+        assert len(degraded) == 1
+        assert degraded[0]["attrs"]["remaining_chunks"] >= 1
 
     def test_hang_hits_chunk_timeout_and_retries(self):
         tasks = _tasks(n_chunks=3)
