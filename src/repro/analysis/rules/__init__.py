@@ -8,6 +8,7 @@ Importing this package registers every rule:
 - ``CON*``  cross-layer contracts (design space <-> simulator <-> models)
 - ``HYG*``  error hygiene (bare/silent excepts, mutable defaults)
 - ``OBS*``  observability (harness timing must go through repro.obs)
+- ``PERF*`` performance (batchable per-point simulation loops)
 """
 
 from . import (
@@ -17,6 +18,7 @@ from . import (
     layering,
     numeric,
     observability,
+    performance,
 )
 
 __all__ = [
@@ -26,4 +28,5 @@ __all__ = [
     "layering",
     "numeric",
     "observability",
+    "performance",
 ]

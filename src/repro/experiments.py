@@ -54,18 +54,25 @@ _CONTEXTS: Dict[str, StudyContext] = {}
 
 
 def shared_context(
-    scale: Optional[ScalePreset] = None, workers: int = 1, resilience=None
+    scale: Optional[ScalePreset] = None,
+    workers: int = 1,
+    resilience=None,
+    batch_size: Optional[int] = None,
 ) -> StudyContext:
     """Process-wide context per scale: one campaign serves every figure.
 
-    ``resilience`` (a :class:`repro.harness.ResilienceConfig`) only takes
+    ``resilience`` (a :class:`repro.harness.ResilienceConfig`) and
+    ``batch_size`` (block size of the batched timing kernel) only take
     effect when the context for this scale is first built — the campaign
     runs once and is shared afterwards.
     """
     scale = scale or get_scale()
     if scale.name not in _CONTEXTS:
         _CONTEXTS[scale.name] = StudyContext(
-            scale=scale, workers=workers, resilience=resilience
+            scale=scale,
+            workers=workers,
+            resilience=resilience,
+            batch_size=batch_size,
         )
     return _CONTEXTS[scale.name]
 
@@ -570,9 +577,9 @@ def run_x5(ctx: StudyContext) -> ExperimentResult:
             trace = ctx.simulator.trace_for(
                 get_profile(benchmark), scale.trace_length, seed=scale.seed
             )
-            results = [
-                ctx.simulator.simulate_point(space, p, trace) for p in points
-            ]
+            results = ctx.simulator.simulate_batch(
+                space, points, trace, batch_size=ctx.batch_size
+            )
             dataset = Dataset.from_results(benchmark, space, points, results)
             model = fit_ols(performance_spec(), dataset.columns())
             validation = ctx.campaign.dataset(benchmark, "validation").columns()
@@ -656,7 +663,9 @@ def run_x7(ctx: StudyContext) -> ExperimentResult:
         trace = ctx.simulator.trace_for(
             get_profile(benchmark), scale.trace_length, seed=scale.seed
         )
-        results = [ctx.simulator.simulate_point(space, p, trace) for p in points]
+        results = ctx.simulator.simulate_batch(
+            space, points, trace, batch_size=ctx.batch_size
+        )
         data = {n: matrix[:, j] for j, n in enumerate(encoder.feature_names)}
         data["bips"] = np.array([r.bips for r in results])
         holdout = max(10, len(points) // 5)
@@ -858,7 +867,7 @@ def run_x12(ctx: StudyContext) -> ExperimentResult:
         interval = interval_model_for(trace)
         points = ctx.exploration_points()[:n_eval]
         actual = np.array(
-            [ctx.simulate(benchmark, p).bips for p in points]
+            [r.bips for r in ctx.simulate_many(benchmark, points)]
         )
         mech = np.array(
             [interval.predict_bips(config_from_point(space, p)) for p in points]

@@ -247,8 +247,12 @@ def cached_campaign(
     refresh: bool = False,
     workers: int = 1,
     resilience: Optional[ResilienceConfig] = None,
+    batch_size: Optional[int] = None,
 ) -> Campaign:
     """Load the matching cached campaign or run and cache a fresh one.
+
+    ``batch_size`` tunes the batched timing kernel on chunked runs; it
+    never changes results, so it is absent from the cache key.
 
     A cached file that fails to load (truncated, stale version, missing
     keys) is quarantined to ``<name>.corrupt`` with a logged reason, then
@@ -290,6 +294,7 @@ def cached_campaign(
         benchmarks=names,
         workers=workers,
         resilience=resilience,
+        batch_size=batch_size,
     )
     save_campaign(campaign, path)
     return campaign

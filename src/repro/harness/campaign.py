@@ -80,15 +80,23 @@ def _simulate_chunk(
     memory_mode: str,
     warm: bool,
     points: List[DesignPoint],
+    batch_size: Optional[int] = None,
 ) -> List[Tuple[float, float]]:
     """Worker: simulate ``points`` for one benchmark; returns (bips, watts).
 
     Runs in a separate process: rebuilds the deterministic trace and a
-    fresh simulator, so outputs are identical to an in-process run.
+    fresh simulator, so outputs are identical to an in-process run.  The
+    chunk goes through the batched timing kernel — one trace replay per
+    block of configs — whose results are bit-identical to the per-point
+    scalar path (``batch_size`` only changes speed, never values, so it
+    stays out of the campaign fingerprint and journals remain portable
+    across batch sizes).
     """
     simulator = Simulator(memory_mode=memory_mode, warm=warm)
     trace = simulator.trace_for(get_profile(benchmark), trace_length, seed=seed)
-    results = [simulator.simulate_point(space, point, trace) for point in points]
+    results = simulator.simulate_batch(
+        space, points, trace, batch_size=batch_size
+    )
     return [(r.bips, float(r.watts)) for r in results]
 
 
@@ -153,6 +161,7 @@ def _run_campaign_resilient(
     progress,
     workers: int,
     resilience: ResilienceConfig,
+    batch_size: Optional[int] = None,
 ) -> Campaign:
     """The chunked path: fan out, retry, journal, and assemble datasets."""
     tasks: List[ChunkTask] = []
@@ -172,6 +181,7 @@ def _run_campaign_resilient(
                             simulator.memory_mode,
                             simulator.warm,
                             chunk,
+                            batch_size,
                         ),
                         size=len(chunk),
                         meta=(benchmark, split),
@@ -239,6 +249,7 @@ def run_campaign(
     progress=None,
     workers: int = 1,
     resilience: Optional[ResilienceConfig] = None,
+    batch_size: Optional[int] = None,
 ) -> Campaign:
     """Sample, simulate, and assemble datasets.
 
@@ -256,6 +267,13 @@ def run_campaign(
     policy) routes execution through :func:`repro.harness.resilience.run_chunks`:
     transient worker failures retry with backoff, a journal path enables
     checkpoint/resume, and the finished campaign carries a ``run_report``.
+
+    On the chunked path, workers replay each trace once per block of up
+    to ``batch_size`` configs through the batched timing kernel
+    (``None`` batches each chunk whole); results and journal layout are
+    bit-identical for every batch size.  The serial path simulates
+    point-by-point through the scalar kernel and serves as the reference
+    the batch path is checked against.
     """
     scale = scale or get_scale()
     space = space or sampling_space()
@@ -293,6 +311,7 @@ def run_campaign(
                 progress,
                 workers,
                 resilience or ResilienceConfig(),
+                batch_size,
             )
 
         for benchmark in names:

@@ -34,6 +34,7 @@ from .config import (
     baseline_point,
     config_from_point,
 )
+from .batch import run_pipeline_batch
 from .memory import (
     FunctionalMemory,
     StackDistanceMemory,
@@ -57,6 +58,7 @@ __all__ = [
     "ARCHITECTED_FPR",
     "ROB_SIZE",
     "run_pipeline",
+    "run_pipeline_batch",
     "PipelineOutcome",
     "SimulationResult",
     "ActivityCounts",

@@ -1,0 +1,633 @@
+"""Batched multi-config timing kernel.
+
+Replays one :class:`~repro.workloads.trace.Trace` against a whole block of
+:class:`~repro.simulator.config.MachineConfig` designs in a single pass —
+the access pattern of a campaign, where every chunk simulates many sampled
+designs on the *same* benchmark trace.  The scalar
+:func:`~repro.simulator.pipeline.run_pipeline` visits each instruction
+once per design; this kernel visits each instruction once per *block*,
+carrying the fetch/dispatch/issue/complete/retire state as int64 numpy
+arrays over the config axis.  The per-instruction work is therefore a
+fixed number of O(B) vector operations instead of B repetitions of the
+scalar bookkeeping.
+
+Two properties of the scalar model make the vectorization exact rather
+than approximate:
+
+- **Op classes are shared.**  The op class at instruction ``i`` comes from
+  the trace, not the config, so every design takes the same code path per
+  instruction; only the *values* (latencies, capacities, outcome streams)
+  differ across the block.
+- **The memory and branch streams are timing-independent.**  The scalar
+  pipeline consults the cache model and the predictor in program order
+  regardless of the cycles it assigns, so service levels, mispredict
+  outcomes, fetch penalties and prefetch coverage can all be precomputed
+  per block (and the trace-only parts once per trace, memoized via
+  :meth:`~repro.workloads.trace.Trace.derived`) before the timing loop
+  runs.
+
+The equivalence contract is *hard*: for every config in the block,
+:func:`run_pipeline_batch` returns bit-identical cycles and
+:class:`~repro.simulator.results.ActivityCounts` to the scalar
+``run_pipeline`` reference path (see ``tests/test_batch_sim.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..workloads.trace import (
+    OP_BRANCH,
+    OP_FP,
+    OP_FP_DIV,
+    OP_INT,
+    OP_INT_MUL,
+    OP_LOAD,
+    OP_STORE,
+    Trace,
+)
+from .branch import build_predictor
+from .caches import build_hierarchy
+from .config import MachineConfig
+from .memory import FunctionalMemory, StackDistanceMemory
+from .pipeline import PipelineOutcome
+from .results import ActivityCounts
+
+_LEVEL_CODES = {"l1": 0, "l2": 1, "mem": 2}
+
+
+class _TraceView:
+    """Config-independent precomputation, built once per trace.
+
+    Everything here depends only on the trace columns: python-scalar
+    copies of the hot columns, the program-order access streams consumed
+    by the memory models, per-load next-line-sequential flags, and the
+    activity counts that are identical for every config.
+    """
+
+    __slots__ = (
+        "n", "ops", "src1", "src2", "max_dep", "fetch_flags",
+        "instr_reuse", "mem_reuse", "mem_is_load", "load_sequential",
+        "branch_sites", "branch_takens",
+        "access_is_data", "access_blocks",
+        "warm_data_blocks", "warm_instr_blocks",
+        "base_counts",
+    )
+
+    def __init__(self, trace: Trace):
+        op = trace.op.astype(np.int64)
+        n = len(trace)
+        self.n = n
+        self.ops = op.tolist()
+        self.src1 = trace.src1.tolist()
+        self.src2 = trace.src2.tolist()
+        self.max_dep = int(max(trace.src1.max(), trace.src2.max()))
+
+        # Fetch-event stream (new instruction blocks, in program order).
+        fetch_mask = trace.instr_reuse >= 0
+        self.fetch_flags = fetch_mask.tolist()
+        self.instr_reuse = trace.instr_reuse[fetch_mask].astype(np.int64)
+
+        # Data-access stream: the scalar pipeline calls ``data_access``
+        # for every load (at resolve) and store (at execute), i.e. for
+        # memory-class ops in program order.
+        is_mem_op = np.isin(op, (OP_LOAD, OP_STORE))
+        self.mem_reuse = trace.data_reuse[is_mem_op].astype(np.int64)
+        is_load = op == OP_LOAD
+        self.mem_is_load = op[is_mem_op] == OP_LOAD
+
+        # Next-line prefetch flags, exactly as the scalar path derives
+        # them: over the concrete block stream (``mem_block >= 0``), then
+        # sliced down to loads (the only consumers).
+        block_mask = trace.mem_block >= 0
+        blocks = trace.mem_block[block_mask]
+        flags = np.zeros(blocks.size, dtype=bool)
+        if blocks.size > 1:
+            flags[1:] = blocks[1:] == blocks[:-1] + 1
+        sequential_full = np.zeros(n, dtype=bool)
+        sequential_full[np.flatnonzero(block_mask)] = flags
+        self.load_sequential = sequential_full[is_load]
+
+        # Branch stream for predictor replay.
+        branch_mask = op == OP_BRANCH
+        self.branch_sites = trace.branch_site[branch_mask].tolist()
+        self.branch_takens = trace.taken[branch_mask].tolist()
+
+        # Interleaved program-order access sequence for the stateful
+        # functional hierarchy: within one instruction, the fetch access
+        # precedes the data access, matching the scalar loop's order.
+        f_pos = np.flatnonzero(fetch_mask) * 2
+        d_pos = np.flatnonzero(is_mem_op) * 2 + 1
+        order = np.argsort(np.concatenate([f_pos, d_pos]), kind="stable")
+        self.access_is_data = np.concatenate(
+            [np.zeros(f_pos.size, dtype=bool), np.ones(d_pos.size, dtype=bool)]
+        )[order].tolist()
+        self.access_blocks = np.concatenate(
+            [
+                trace.iblock[fetch_mask].astype(np.int64),
+                trace.mem_block[is_mem_op].astype(np.int64),
+            ]
+        )[order].tolist()
+
+        # Warm-up replay streams (Simulator._warm_structures order: the
+        # full data stream first, then the full instruction stream).
+        self.warm_data_blocks = trace.mem_block[block_mask].tolist()
+        self.warm_instr_blocks = trace.iblock[fetch_mask].tolist()
+
+        # Activity counts that depend only on the trace.
+        reads = (trace.src1 != 0).astype(np.int64) + (trace.src2 != 0)
+        fp_mask = (op == OP_FP) | (op == OP_FP_DIV)
+        self.base_counts = {
+            "instructions": n,
+            "int_ops": int((op == OP_INT).sum()),
+            "int_mul_ops": int((op == OP_INT_MUL).sum()),
+            "fp_ops": int((op == OP_FP).sum()),
+            "fp_div_ops": int((op == OP_FP_DIV).sum()),
+            "loads": int(is_load.sum()),
+            "stores": int((op == OP_STORE).sum()),
+            "branches": int(branch_mask.sum()),
+            "fpr_reads": int(reads[fp_mask].sum()),
+            "fpr_writes": int(fp_mask.sum()),
+            "gpr_reads": int(reads[~fp_mask].sum()),
+            "gpr_writes": int(
+                np.isin(op, (OP_INT, OP_INT_MUL, OP_LOAD)).sum()
+            ),
+        }
+
+
+def _trace_view(trace: Trace) -> _TraceView:
+    return trace.derived(("batch", "view"), lambda: _TraceView(trace))
+
+
+def _mispredict_stream(
+    trace: Trace, view: _TraceView, name: str, entries: int, warm: bool
+) -> np.ndarray:
+    """Per-branch mispredict outcomes for one predictor geometry.
+
+    The scalar pipeline updates the predictor for every branch in program
+    order regardless of timing, so one replay of the branch stream fixes
+    the outcome of every branch for every config sharing the predictor.
+    ``warm`` replays the stream once beforehand (the warming pass resets
+    only the stats, never the tables, so outcomes shift accordingly).
+    """
+
+    def build() -> np.ndarray:
+        predictor = build_predictor(name, entries)
+        predict_and_update = predictor.predict_and_update
+        sites = view.branch_sites
+        takens = view.branch_takens
+        if warm:
+            for site, taken in zip(sites, takens):
+                predict_and_update(site, taken)
+        return np.array(
+            [not predict_and_update(s, t) for s, t in zip(sites, takens)],
+            dtype=bool,
+        )
+
+    return trace.derived(("batch", "mispredict", name, entries, warm), build)
+
+
+def _stack_levels(
+    view: _TraceView, configs: Sequence[MachineConfig]
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
+    """Service levels + hierarchy counters under the stack-distance model.
+
+    Broadcasting the shared reuse-distance streams against each config's
+    effective capacities replicates the scalar threshold cascade exactly:
+    level 0 below the L1 capacity, 1 below the L2 share, else 2.
+    """
+    models = [StackDistanceMemory(config) for config in configs]
+
+    def column(attr: str) -> np.ndarray:
+        return np.array(
+            [getattr(m, attr) for m in models], dtype=np.float64
+        )[:, None]
+    data_reuse = view.mem_reuse[None, :]
+    data_levels = np.where(
+        data_reuse < column("dl1_effective"),
+        np.int8(0),
+        np.where(data_reuse < column("l2_data_effective"), np.int8(1), np.int8(2)),
+    )
+    instr_reuse = view.instr_reuse[None, :]
+    instr_levels = np.where(
+        instr_reuse < column("il1_effective"),
+        np.int8(0),
+        np.where(
+            instr_reuse < column("l2_instr_effective"), np.int8(1), np.int8(2)
+        ),
+    )
+    batch = len(configs)
+    dl1_misses = (data_levels > 0).sum(axis=1)
+    il1_misses = (instr_levels > 0).sum(axis=1)
+    data_mem = (data_levels == 2).sum(axis=1)
+    instr_mem = (instr_levels == 2).sum(axis=1)
+    counters = {
+        "dl1_accesses": np.full(batch, data_levels.shape[1], dtype=np.int64),
+        "dl1_misses": dl1_misses,
+        "il1_accesses": np.full(batch, instr_levels.shape[1], dtype=np.int64),
+        "il1_misses": il1_misses,
+        "l2_accesses": dl1_misses + il1_misses,
+        "l2_misses": data_mem + instr_mem,
+        "memory_accesses": data_mem + instr_mem,
+    }
+    return data_levels, instr_levels, counters
+
+
+def _functional_replay(
+    view: _TraceView,
+    geometry: tuple,
+    warm: bool,
+    cache: Optional[Dict[tuple, tuple]],
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, int]]:
+    """Replay the interleaved access stream through one concrete hierarchy.
+
+    The unified L2 couples the instruction and data streams, so the
+    stateful hierarchy is replayed once per distinct cache geometry in the
+    block (``cache`` shares replays across sub-blocks of one call).
+    """
+    if cache is not None and geometry in cache:
+        return cache[geometry]
+    il1_kb, il1_assoc, dl1_kb, dl1_assoc, l2_mb, l2_assoc = geometry
+    hierarchy = build_hierarchy(
+        il1_kb,
+        dl1_kb,
+        l2_mb,
+        il1_assoc=il1_assoc,
+        dl1_assoc=dl1_assoc,
+        l2_assoc=l2_assoc,
+    )
+    if warm:
+        data_access = hierarchy.data_access
+        for block in view.warm_data_blocks:
+            data_access(block)
+        instruction_access = hierarchy.instruction_access
+        for block in view.warm_instr_blocks:
+            instruction_access(block)
+        hierarchy.il1.stats.reset()
+        hierarchy.dl1.stats.reset()
+        hierarchy.l2.stats.reset()
+        hierarchy.memory_accesses = 0
+    data_codes: List[int] = []
+    instr_codes: List[int] = []
+    data_access = hierarchy.data_access
+    instruction_access = hierarchy.instruction_access
+    for is_data, block in zip(view.access_is_data, view.access_blocks):
+        if is_data:
+            data_codes.append(_LEVEL_CODES[data_access(block)])
+        else:
+            instr_codes.append(_LEVEL_CODES[instruction_access(block)])
+    counts = FunctionalMemory(hierarchy).counts()
+    result = (
+        np.array(data_codes, dtype=np.int8),
+        np.array(instr_codes, dtype=np.int8),
+        counts,
+    )
+    if cache is not None:
+        cache[geometry] = result
+    return result
+
+
+def _functional_levels(
+    view: _TraceView,
+    configs: Sequence[MachineConfig],
+    warm: bool,
+    cache: Optional[Dict[tuple, tuple]],
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
+    """Per-config level streams + counters under the functional model."""
+    geometries = [
+        (
+            config.il1_kb,
+            config.il1_assoc,
+            config.dl1_kb,
+            config.dl1_assoc,
+            config.l2_mb,
+            config.l2_assoc,
+        )
+        for config in configs
+    ]
+    replays = {
+        geometry: _functional_replay(view, geometry, warm, cache)
+        for geometry in dict.fromkeys(geometries)
+    }
+    data_levels = np.stack([replays[g][0] for g in geometries])
+    instr_levels = np.stack([replays[g][1] for g in geometries])
+    counters = {
+        key: np.array([replays[g][2][key] for g in geometries], dtype=np.int64)
+        for key in replays[geometries[0]][2]
+    }
+    return data_levels, instr_levels, counters
+
+
+class _BatchWindow:
+    """:class:`~repro.simulator.resources.OccupancyWindow` over a block.
+
+    One ring of release times per config, with per-config capacity: the
+    next occupant of config ``b`` cannot acquire before the release
+    recorded ``capacity[b]`` acquisitions earlier.  Acquisition events are
+    shared across the block (the instruction stream is common), so one
+    head-pointer array advances in lockstep — except for masked acquires
+    (:meth:`acquire_where`), where only some configs consume a slot.
+    """
+
+    __slots__ = ("_capacity", "_releases", "_head", "_rows")
+
+    def __init__(self, capacities: np.ndarray):
+        self._capacity = capacities
+        self._releases = np.zeros(
+            (capacities.size, int(capacities.max())), dtype=np.int64
+        )
+        self._head = np.zeros(capacities.size, dtype=np.int64)
+        self._rows = np.arange(capacities.size)
+
+    def next_free(self) -> np.ndarray:
+        return self._releases[self._rows, self._head]
+
+    def acquire(self, release_time: np.ndarray) -> None:
+        head = self._head
+        self._releases[self._rows, head] = release_time
+        np.add(head, 1, out=head)
+        np.remainder(head, self._capacity, out=head)
+
+    def acquire_where(self, mask: np.ndarray, release_time: np.ndarray) -> None:
+        rows = self._rows[mask]
+        head = self._head[rows]
+        self._releases[rows, head] = release_time[mask]
+        head += 1
+        np.remainder(head, self._capacity[rows], out=head)
+        self._head[rows] = head
+
+
+class _BatchLimiter:
+    """:class:`~repro.simulator.resources.ThroughputLimiter` over a block."""
+
+    __slots__ = ("_window",)
+
+    def __init__(self, rates: np.ndarray):
+        self._window = _BatchWindow(rates)
+
+    def next_slot(self, earliest: np.ndarray) -> np.ndarray:
+        time = np.maximum(earliest, self._window.next_free())
+        self._window.acquire(time + 1)
+        return time
+
+
+def run_pipeline_batch(
+    trace: Trace,
+    configs: Sequence[MachineConfig],
+    memory_mode: str = "stack",
+    warm: bool = True,
+    _functional_cache: Optional[Dict[tuple, tuple]] = None,
+) -> List[PipelineOutcome]:
+    """Schedule ``trace`` on every config at once; one outcome per config.
+
+    Bit-identical to calling the scalar
+    :func:`~repro.simulator.pipeline.run_pipeline` per config with the
+    matching memory model and a warmed/unwarmed predictor — the hard
+    equivalence contract of the batch kernel.  ``memory_mode`` and
+    ``warm`` mirror the :class:`~repro.simulator.simulator.Simulator`
+    settings; ``_functional_cache`` optionally shares functional-hierarchy
+    replays across consecutive blocks of one caller.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    if memory_mode not in ("stack", "functional"):
+        raise ValueError(
+            f"unknown memory mode {memory_mode!r}; choices are "
+            "('stack', 'functional')"
+        )
+    view = _trace_view(trace)
+    batch = len(configs)
+
+    # ---- per-block precompute (timing-independent) -----------------------
+    if memory_mode == "stack":
+        data_levels, instr_levels, mem_counters = _stack_levels(view, configs)
+    else:
+        data_levels, instr_levels, mem_counters = _functional_levels(
+            view, configs, warm, _functional_cache
+        )
+
+    def int_column(get) -> np.ndarray:
+        return np.array([get(config) for config in configs], dtype=np.int64)
+    lat_l1 = int_column(lambda c: c.data_latency("l1"))[:, None]
+    lat_l2 = int_column(lambda c: c.data_latency("l2"))[:, None]
+    lat_mem = int_column(lambda c: c.data_latency("mem"))[:, None]
+
+    # Per-load latency / memory-miss columns, with next-line prefetch
+    # coverage applied by *latency value* (not level), as the scalar does.
+    load_levels = data_levels[:, view.mem_is_load]
+    load_lat = np.where(
+        load_levels == 0,
+        lat_l1,
+        np.where(load_levels == 1, lat_l2, lat_mem),
+    )
+    load_miss = load_levels == 2
+    prefetch = np.array([c.prefetch for c in configs], dtype=bool)[:, None]
+    covered = prefetch & (load_lat != lat_l1) & view.load_sequential[None, :]
+    if covered.any():
+        load_lat = np.where(covered, np.broadcast_to(lat_l1, load_lat.shape), load_lat)
+        load_miss &= ~covered
+    prefetch_covered = covered.sum(axis=1)
+
+    pen_l2 = int_column(lambda c: c.fetch_penalty("l2"))[:, None]
+    pen_mem = int_column(lambda c: c.fetch_penalty("mem"))[:, None]
+    fetch_pen = np.ascontiguousarray(
+        np.where(
+            instr_levels == 0, 0, np.where(instr_levels == 1, pen_l2, pen_mem)
+        ).T
+    )
+    load_lat = np.ascontiguousarray(load_lat.T)
+    load_miss = np.ascontiguousarray(load_miss.T)
+
+    predictor_keys = [(c.predictor, c.predictor_entries) for c in configs]
+    uniform_predictor = len(set(predictor_keys)) == 1
+    if uniform_predictor:
+        stream = _mispredict_stream(trace, view, *predictor_keys[0], warm)
+        mispredict_rows = stream.tolist()
+        mispredict_totals = np.full(batch, int(stream.sum()), dtype=np.int64)
+    else:
+        matrix = np.stack(
+            [
+                _mispredict_stream(trace, view, name, entries, warm)
+                for name, entries in predictor_keys
+            ],
+            axis=1,
+        )
+        mispredict_rows = matrix
+        mispredict_totals = matrix.sum(axis=0).astype(np.int64)
+
+    # ---- per-config scalars and resource state ---------------------------
+    frontend = int_column(lambda c: c.frontend_stages)
+    lat_int = int_column(lambda c: c.op_latency(OP_INT))
+    lat_mul = int_column(lambda c: c.op_latency(OP_INT_MUL))
+    lat_fp = int_column(lambda c: c.op_latency(OP_FP))
+    lat_div = int_column(lambda c: c.op_latency(OP_FP_DIV))
+    lat_store = int_column(lambda c: c.op_latency(OP_STORE))
+    lat_branch = int_column(lambda c: c.op_latency(OP_BRANCH))
+    dl1_latency = int_column(lambda c: c.dl1_latency)
+    in_order = np.array([c.in_order for c in configs], dtype=bool)
+    any_in_order = bool(in_order.any())
+
+    fetch_limiter = _BatchLimiter(int_column(lambda c: c.width))
+    dispatch_limiter = _BatchLimiter(int_column(lambda c: c.dispatch_rate))
+    retire_limiter = _BatchLimiter(int_column(lambda c: c.width))
+    rob = _BatchWindow(int_column(lambda c: c.rob_size))
+    gpr = _BatchWindow(int_column(lambda c: c.gpr_rename))
+    fpr = _BatchWindow(int_column(lambda c: c.fpr_rename))
+    fx_rs = _BatchWindow(int_column(lambda c: c.fx_resv))
+    fp_rs = _BatchWindow(int_column(lambda c: c.fp_resv))
+    br_rs = _BatchWindow(int_column(lambda c: c.br_resv))
+    load_queue = _BatchWindow(int_column(lambda c: c.ls_queue))
+    store_q = _BatchWindow(int_column(lambda c: c.store_queue))
+    units = int_column(lambda c: c.functional_units)
+    fxu = _BatchWindow(units)
+    fpu = _BatchWindow(units.copy())
+    lsu = _BatchWindow(units.copy())
+    bru = _BatchWindow(units.copy())
+    mshrs = _BatchWindow(int_column(lambda c: c.mshr_count))
+
+    ops = view.ops
+    src1 = view.src1
+    src2 = view.src2
+    fetch_flags = view.fetch_flags
+    n = view.n
+    ring = view.max_dep + 1
+    completion = np.zeros((ring, batch), dtype=np.int64)
+    fetch_available = np.zeros(batch, dtype=np.int64)
+    last_dispatch = np.zeros(batch, dtype=np.int64)
+    last_issue = np.zeros(batch, dtype=np.int64)
+    last_retire = np.zeros(batch, dtype=np.int64)
+    maximum = np.maximum
+
+    load_index = 0
+    fetch_index = 0
+    branch_index = 0
+
+    # ---- the timing loop: one pass, O(B) vector work per instruction -----
+    for i in range(n):
+        op = ops[i]
+
+        # fetch
+        if fetch_flags[i]:
+            fetch_available = fetch_available + fetch_pen[fetch_index]
+            fetch_index += 1
+        fetch_time = fetch_limiter.next_slot(fetch_available)
+
+        # dispatch
+        disp = fetch_time + frontend
+        maximum(disp, last_dispatch, out=disp)
+        maximum(disp, rob.next_free(), out=disp)
+        miss = None
+        if op == OP_INT:
+            rs_window, fu, reg, latency = fx_rs, fxu, gpr, lat_int
+        elif op == OP_LOAD:
+            rs_window, fu, reg = load_queue, lsu, gpr
+            latency = load_lat[load_index]
+            miss = load_miss[load_index]
+            load_index += 1
+        elif op == OP_BRANCH:
+            rs_window, fu, reg, latency = br_rs, bru, None, lat_branch
+        elif op == OP_STORE:
+            rs_window, fu, reg, latency = load_queue, lsu, None, lat_store
+            maximum(disp, store_q.next_free(), out=disp)
+        elif op == OP_FP:
+            rs_window, fu, reg, latency = fp_rs, fpu, fpr, lat_fp
+        elif op == OP_INT_MUL:
+            rs_window, fu, reg, latency = fx_rs, fxu, gpr, lat_mul
+        else:  # OP_FP_DIV
+            rs_window, fu, reg, latency = fp_rs, fpu, fpr, lat_div
+        maximum(disp, rs_window.next_free(), out=disp)
+        if reg is not None:
+            maximum(disp, reg.next_free(), out=disp)
+        disp = dispatch_limiter.next_slot(disp)
+        last_dispatch = disp
+
+        # issue
+        ready = disp + 1
+        distance = src1[i]
+        if distance:
+            maximum(ready, completion[(i - distance) % ring], out=ready)
+        distance = src2[i]
+        if distance:
+            maximum(ready, completion[(i - distance) % ring], out=ready)
+        if any_in_order:
+            ready = np.where(in_order, maximum(ready, last_issue), ready)
+        issue = maximum(ready, fu.next_free())
+        if miss is not None and miss.any():
+            issue = np.where(miss, maximum(issue, mshrs.next_free()), issue)
+            comp = issue + latency
+            mshrs.acquire_where(miss, comp)
+        else:
+            comp = issue + latency
+        if op == OP_FP_DIV or op == OP_INT_MUL:
+            fu.acquire(comp)
+        else:
+            fu.acquire(issue + 1)
+        last_issue = issue
+        completion[i % ring] = comp
+
+        if op == OP_BRANCH:
+            if uniform_predictor:
+                if mispredict_rows[branch_index]:
+                    maximum(fetch_available, comp + 1, out=fetch_available)
+            else:
+                mispredicted = mispredict_rows[branch_index]
+                if mispredicted.any():
+                    fetch_available = np.where(
+                        mispredicted,
+                        maximum(fetch_available, comp + 1),
+                        fetch_available,
+                    )
+            branch_index += 1
+
+        # retire
+        retire = comp + 1
+        maximum(retire, last_retire, out=retire)
+        retire = retire_limiter.next_slot(retire)
+        last_retire = retire
+
+        # release resources
+        rob.acquire(retire)
+        if reg is not None:
+            reg.acquire(retire)
+        if op == OP_LOAD:
+            rs_window.acquire(comp)
+        elif op == OP_STORE:
+            rs_window.acquire(comp)
+            store_q.acquire(retire + dl1_latency)
+        else:
+            rs_window.acquire(issue + 1)
+
+    # ---- assemble per-config outcomes ------------------------------------
+    base = view.base_counts
+    outcomes: List[PipelineOutcome] = []
+    for b in range(batch):
+        cycles = int(last_retire[b])
+        counts = ActivityCounts(
+            instructions=base["instructions"],
+            cycles=cycles,
+            int_ops=base["int_ops"],
+            int_mul_ops=base["int_mul_ops"],
+            fp_ops=base["fp_ops"],
+            fp_div_ops=base["fp_div_ops"],
+            loads=base["loads"],
+            stores=base["stores"],
+            branches=base["branches"],
+            mispredicts=int(mispredict_totals[b]),
+            gpr_reads=base["gpr_reads"],
+            gpr_writes=base["gpr_writes"],
+            fpr_reads=base["fpr_reads"],
+            fpr_writes=base["fpr_writes"],
+            prefetch_covered=int(prefetch_covered[b]),
+            il1_accesses=int(mem_counters["il1_accesses"][b]),
+            il1_misses=int(mem_counters["il1_misses"][b]),
+            dl1_accesses=int(mem_counters["dl1_accesses"][b]),
+            dl1_misses=int(mem_counters["dl1_misses"][b]),
+            l2_accesses=int(mem_counters["l2_accesses"][b]),
+            l2_misses=int(mem_counters["l2_misses"][b]),
+            memory_accesses=int(mem_counters["memory_accesses"][b]),
+        )
+        outcomes.append(PipelineOutcome(cycles=cycles, counts=counts))
+    return outcomes

@@ -8,13 +8,15 @@ PowerTimer-style model converts the activity counts into watts.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional
 
 from ..designspace import DesignPoint, DesignSpace
 from ..obs.metrics import get_registry
 from ..obs.tracing import Stopwatch, get_tracer
 from ..power import PowerModel
 from ..workloads import Trace, WorkloadProfile, generate_trace
+from .batch import run_pipeline_batch
 from .branch import build_predictor
 from .caches import build_hierarchy
 from .config import MachineConfig, config_from_point
@@ -24,13 +26,28 @@ from .results import SimulationResult
 
 MEMORY_MODES = ("stack", "functional")
 
+#: Default bound on the per-instance trace cache (LRU entries).  Sized to
+#: hold every benchmark of the standard suite at one (length, seed) with
+#: headroom; campaigns touch traces benchmark-by-benchmark, so even a
+#: churning cache only ever regenerates on suite-sized working sets.
+TRACE_CACHE_SIZE = 16
+
 
 class Simulator:
     """Performance + power simulation of traces on configurable machines.
 
-    One instance holds a power model and an optional trace cache; it is
-    stateless across ``simulate`` calls (caches and predictors are fresh
-    per simulation, as with the paper's per-run simulator invocations).
+    One instance holds a power model and a bounded trace cache.  Each
+    ``simulate`` call builds fresh cache and predictor state (as with the
+    paper's per-run simulator invocations), so *simulation results* never
+    depend on call order; the instance-level caches only memoize inputs:
+
+    - ``_trace_cache`` — generated traces, keyed by
+      ``(profile.name, length, seed)`` and bounded to the
+      ``trace_cache_size`` most recently used entries (LRU; hits, misses
+      and evictions are reported through the ``sim.trace_cache.*``
+      metrics counters);
+    - ``_branch_cache`` — per-trace branch streams used for predictor
+      warming.
 
     ``memory_mode`` selects the cache model: ``"stack"`` (default) uses
     steady-state reuse-distance classification; ``"functional"`` drives the
@@ -49,15 +66,21 @@ class Simulator:
         power_model: Optional[PowerModel] = None,
         memory_mode: str = "stack",
         warm: bool = True,
+        trace_cache_size: int = TRACE_CACHE_SIZE,
     ):
         if memory_mode not in MEMORY_MODES:
             raise ValueError(
                 f"unknown memory mode {memory_mode!r}; choices are {MEMORY_MODES}"
             )
+        if trace_cache_size < 1:
+            raise ValueError(
+                f"trace_cache_size must be >= 1, got {trace_cache_size}"
+            )
         self.power_model = power_model or PowerModel()
         self.memory_mode = memory_mode
         self.warm = warm
-        self._trace_cache: Dict[tuple, Trace] = {}
+        self.trace_cache_size = trace_cache_size
+        self._trace_cache: "OrderedDict[tuple, Trace]" = OrderedDict()
         self._branch_cache: Dict[tuple, list] = {}
 
     # -- trace management ----------------------------------------------------
@@ -65,18 +88,33 @@ class Simulator:
     def trace_for(
         self, profile: WorkloadProfile, length: int, seed: int = 0
     ) -> Trace:
-        """Generate (and memoize) the synthetic trace for a profile."""
+        """Generate (and memoize) the synthetic trace for a profile.
+
+        Traces are cached per ``(profile.name, length, seed)`` in a small
+        LRU bounded by ``trace_cache_size``; cache traffic is visible as
+        the ``sim.trace_cache.{hit,miss,evict}`` counters.
+        """
         key = (profile.name, length, seed)
-        if key not in self._trace_cache:
-            with get_tracer().span(
-                "simulator.trace_for",
-                benchmark=profile.name,
-                length=length,
-                seed=seed,
-            ):
-                self._trace_cache[key] = generate_trace(profile, length, seed)
-            get_registry().increment("simulator.traces_generated")
-        return self._trace_cache[key]
+        cache = self._trace_cache
+        registry = get_registry()
+        if key in cache:
+            cache.move_to_end(key)
+            registry.increment("sim.trace_cache.hit")
+            return cache[key]
+        registry.increment("sim.trace_cache.miss")
+        with get_tracer().span(
+            "simulator.trace_for",
+            benchmark=profile.name,
+            length=length,
+            seed=seed,
+        ):
+            trace = generate_trace(profile, length, seed)
+        registry.increment("simulator.traces_generated")
+        cache[key] = trace
+        if len(cache) > self.trace_cache_size:
+            cache.popitem(last=False)
+            registry.increment("sim.trace_cache.evict")
+        return trace
 
     # -- simulation ------------------------------------------------------------
 
@@ -173,15 +211,94 @@ class Simulator:
         config = config_from_point(space, point, **config_overrides)
         return self.simulate(trace, config)
 
+    def simulate_batch(
+        self,
+        space: DesignSpace,
+        points: Iterable[DesignPoint],
+        trace: Trace,
+        batch_size: Optional[int] = None,
+        **config_overrides,
+    ) -> List[SimulationResult]:
+        """Simulate one trace across many design points in vectorized blocks.
+
+        Replays ``trace`` once per block of up to ``batch_size`` configs
+        (default: all points in one block) through the batched timing
+        kernel (:func:`~repro.simulator.batch.run_pipeline_batch`),
+        carrying pipeline state as arrays over the config axis.  Results
+        are bit-identical to calling :meth:`simulate_point` per point —
+        same cycles, same :class:`~repro.simulator.results.ActivityCounts`,
+        same watts — just cheaper: the per-instruction python work is paid
+        once per block instead of once per design.
+        """
+        points = list(points)
+        if not points:
+            return []
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        configs = [
+            config_from_point(space, point, **config_overrides)
+            for point in points
+        ]
+        size = batch_size or len(configs)
+        watch = Stopwatch().start()
+        results: List[SimulationResult] = []
+        # Functional-hierarchy replays are shared across the blocks of
+        # this call (same trace, recurring cache geometries).
+        functional_cache: Dict[tuple, tuple] = {}
+        with get_tracer().span(
+            "simulator.simulate_batch",
+            benchmark=trace.name,
+            points=len(points),
+            batch_size=size,
+        ):
+            for start in range(0, len(configs), size):
+                block = configs[start : start + size]
+                outcomes = run_pipeline_batch(
+                    trace,
+                    block,
+                    memory_mode=self.memory_mode,
+                    warm=self.warm,
+                    _functional_cache=functional_cache,
+                )
+                for config, outcome in zip(block, outcomes):
+                    result = SimulationResult(
+                        benchmark=trace.name,
+                        cycles=outcome.cycles,
+                        instructions=len(trace),
+                        frequency_ghz=config.frequency_ghz,
+                        counts=outcome.counts,
+                        config_summary=config.describe(),
+                        ref_instructions=trace.ref_instructions,
+                    )
+                    results.append(self.power_model.evaluate(config, result))
+        watch.stop()
+        registry = get_registry()
+        registry.increment("simulator.batch.points", len(points))
+        registry.increment(
+            "simulator.batch.blocks", -(-len(configs) // size)
+        )
+        registry.increment(
+            "simulator.instructions", len(trace) * len(points)
+        )
+        registry.increment(
+            "simulator.cycles", float(sum(r.cycles for r in results))
+        )
+        registry.observe("simulator.simulate_batch.seconds", watch.wall_s)
+        return results
+
     def simulate_many(
         self,
         space: DesignSpace,
         points: Iterable[DesignPoint],
         trace: Trace,
+        batch_size: Optional[int] = None,
         **config_overrides,
     ) -> list:
-        """Simulate one trace across many design points."""
-        return [
-            self.simulate_point(space, point, trace, **config_overrides)
-            for point in points
-        ]
+        """Simulate one trace across many design points.
+
+        Delegates to :meth:`simulate_batch`; results are bit-identical to
+        a per-point :meth:`simulate_point` loop.
+        """
+        return self.simulate_batch(
+            space, points, trace, batch_size=batch_size, **config_overrides
+        )

@@ -96,6 +96,7 @@ class StudyContext:
         refresh: bool = False,
         workers: int = 1,
         resilience=None,
+        batch_size: Optional[int] = None,
     ):
         self.scale = scale or get_scale()
         self.simulator = simulator or Simulator()
@@ -106,6 +107,10 @@ class StudyContext:
         #: Optional :class:`repro.harness.ResilienceConfig` applied to the
         #: campaign phase (retries, journaled checkpoint/resume).
         self.resilience = resilience
+        #: Block size for the batched timing kernel (campaign chunks and
+        #: :meth:`simulate_many`); ``None`` batches each call whole.
+        #: Tunes speed/memory only — results are bit-identical throughout.
+        self.batch_size = batch_size
         self._refresh = refresh
         self._campaign: Optional[Campaign] = None
         self._models: Optional[Dict[str, Dict[str, FittedModel]]] = None
@@ -129,6 +134,7 @@ class StudyContext:
                 refresh=self._refresh,
                 workers=self.workers,
                 resilience=self.resilience,
+                batch_size=self.batch_size,
             )
         return self._campaign
 
@@ -382,4 +388,21 @@ class StudyContext:
         """Ground-truth simulation of one design on one benchmark."""
         return self.simulator.simulate_point(
             self.exploration_space, point, self.trace(benchmark)
+        )
+
+    def simulate_many(
+        self, benchmark: str, points: Sequence[DesignPoint]
+    ) -> List[SimulationResult]:
+        """Ground-truth simulation of many designs on one benchmark.
+
+        Goes through the batched timing kernel — one trace replay per
+        block of configs instead of one per design — and returns results
+        bit-identical to calling :meth:`simulate` per point.  Validation
+        phases (frontier, per-depth, cluster heterogeneity) use this.
+        """
+        return self.simulator.simulate_batch(
+            self.exploration_space,
+            list(points),
+            self.trace(benchmark),
+            batch_size=self.batch_size,
         )

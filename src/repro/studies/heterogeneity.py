@@ -152,32 +152,48 @@ def k_sweep(
     max_k = max_k or len(names)
     counts = list(range(0, max_k + 1))
 
-    def efficiency(benchmark: str, point: DesignPoint) -> float:
-        if simulate:
-            result = ctx.simulate(benchmark, point)
-            return float(result.bips3_per_watt)
-        table = ctx.predict_points(benchmark, [point])
-        return float(table.efficiency[0])
-
     baseline = ctx.baseline
-    base_eff = {name: efficiency(name, baseline) for name in names}
+    clusterings = {
+        k: cluster_architectures(ctx, k, optima=optima, seed=seed)
+        for k in counts
+        if k >= 1
+    }
 
+    def assigned_point(name: str, k: int) -> DesignPoint:
+        clustering = clusterings[k]
+        return clustering.clusters[clustering.assignment[name]].point
+
+    # One batched evaluation per benchmark covers the baseline plus every
+    # distinct compromise the benchmark is assigned across all K — with
+    # ``simulate=True`` that is one trace replay per benchmark instead of
+    # one simulation per (benchmark, K).
+    def evaluate(name: str, points: List[DesignPoint]) -> Dict[tuple, float]:
+        if simulate:
+            results = ctx.simulate_many(name, points)
+            values = [float(r.bips3_per_watt) for r in results]
+        else:
+            values = [float(v) for v in ctx.predict_points(name, points).efficiency]
+        return {tuple(p.values): v for p, v in zip(points, values)}
+
+    efficiency: Dict[str, Dict[tuple, float]] = {}
+    for name in names:
+        wanted = {tuple(baseline.values): baseline}
+        for k in clusterings:
+            point = assigned_point(name, k)
+            wanted.setdefault(tuple(point.values), point)
+        efficiency[name] = evaluate(name, list(wanted.values()))
+
+    base_eff = {name: efficiency[name][tuple(baseline.values)] for name in names}
     per_benchmark: Dict[str, List[float]] = {name: [] for name in names}
     for k in counts:
-        if k == 0:
-            for name in names:
-                per_benchmark[name].append(1.0)
-            continue
-        clustering = cluster_architectures(ctx, k, optima=optima, seed=seed)
-        # memoize per-point efficiencies within this K (clusters shared)
-        point_eff: Dict[tuple, Dict[str, float]] = {}
         for name in names:
-            cluster = clustering.clusters[clustering.assignment[name]]
-            key = tuple(cluster.point.values)
-            cache = point_eff.setdefault(key, {})
-            if name not in cache:
-                cache[name] = efficiency(name, cluster.point)
-            per_benchmark[name].append(cache[name] / base_eff[name])
+            if k == 0:
+                per_benchmark[name].append(1.0)
+                continue
+            key = tuple(assigned_point(name, k).values)
+            per_benchmark[name].append(
+                efficiency[name][key] / base_eff[name]
+            )
 
     average = [
         float(np.mean([per_benchmark[name][i] for name in names]))

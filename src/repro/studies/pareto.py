@@ -226,7 +226,7 @@ def validate_frontier(
     points = [front.points[i] for i in picks]
     model_delay = front.delay[picks]
     model_power = front.power[picks]
-    results = [ctx.simulate(benchmark, point) for point in points]
+    results = ctx.simulate_many(benchmark, points)
     simulated_delay = np.array([r.delay_seconds for r in results])
     simulated_power = np.array([r.watts for r in results])
 

@@ -96,6 +96,11 @@ class Trace:
     branch_site: np.ndarray
     ref_instructions: float = 1e9
     metadata: Dict[str, float] = field(default_factory=dict)
+    #: Memoized config-independent data derived from the (immutable)
+    #: columns — see :meth:`derived`.  Not part of the trace's identity.
+    _derived: Dict[tuple, object] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         n = len(self.op)
@@ -143,6 +148,22 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.op)
+
+    def derived(self, key: tuple, build):
+        """Memoize ``build()`` under ``key`` for this trace's lifetime.
+
+        Consumers (e.g. the batched timing kernel) hoist expensive
+        config-independent precomputation — access streams, dependence
+        columns, predictor replays — out of their hot loops and key it
+        here, so it is computed once per trace object rather than once per
+        call.  ``key`` must capture every input to ``build`` other than
+        the trace columns themselves (which are immutable by convention).
+        """
+        try:
+            return self._derived[key]
+        except KeyError:
+            value = self._derived[key] = build()
+            return value
 
     # -- summaries -----------------------------------------------------------
 

@@ -1,0 +1,17 @@
+"""Per-point simulation loops the batch kernel should replace."""
+
+
+def collect(simulator, space, points, trace):
+    results = []
+    for point in points:
+        results.append(simulator.simulate_point(space, point, trace))
+    return results
+
+
+def collect_comp(simulator, space, points, trace):
+    return [simulator.simulate_point(space, p, trace) for p in points]
+
+
+def drain(ctx, benchmark, queue):
+    while queue:
+        ctx.simulate(benchmark, queue.pop())

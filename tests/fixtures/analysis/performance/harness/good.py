@@ -1,0 +1,13 @@
+"""Batched and single-shot simulation uses that must stay silent."""
+
+
+def batched(simulator, space, points, trace):
+    return simulator.simulate_batch(space, points, trace)
+
+
+def batched_per_benchmark(ctx, benchmarks, points):
+    return {b: ctx.simulate_many(b, points) for b in benchmarks}
+
+
+def single(simulator, space, point, trace):
+    return simulator.simulate_point(space, point, trace)

@@ -1,0 +1,5 @@
+"""Scalar loops outside harness/studies are not PERF001's business."""
+
+
+def reference_loop(simulator, space, points, trace):
+    return [simulator.simulate_point(space, p, trace) for p in points]

@@ -1,0 +1,5 @@
+"""Study-layer per-point validation loop."""
+
+
+def validate(ctx, benchmark, points):
+    return [ctx.simulate(benchmark, p) for p in points]

@@ -140,6 +140,20 @@ class TestObservability:
         assert not [f for f in report.findings if "good" in f.path]
 
 
+class TestPerformance:
+    def test_bad_fixtures_fire_exactly(self):
+        assert hits(run("performance")) == [
+            ("PERF001", "harness/bad_scalar_loop.py", 7),
+            ("PERF001", "harness/bad_scalar_loop.py", 12),
+            ("PERF001", "harness/bad_scalar_loop.py", 17),
+            ("PERF001", "studies/bad_study_loop.py", 5),
+        ]
+
+    def test_batched_single_shot_and_other_packages_are_silent(self):
+        report = run("performance")
+        assert not [f for f in report.findings if "good" in f.path]
+
+
 class TestAcceptanceTriple:
     def test_seeded_violations_yield_exactly_three_findings(self):
         """The ISSUE acceptance check: one DET001, one LAY001, one HYG001."""
@@ -247,7 +261,7 @@ class TestRunnerAndReporting:
         expected = {
             "DET001", "DET002", "NUM001", "NUM002", "NUM003",
             "LAY001", "CON001", "CON002", "CON003",
-            "HYG001", "HYG002", "HYG003", "OBS001",
+            "HYG001", "HYG002", "HYG003", "OBS001", "PERF001",
         }
         assert set(ids) == expected
         for rule in rules:

@@ -1,0 +1,221 @@
+"""Batched timing kernel: equivalence contract, blocks, and trace LRU.
+
+The batch kernel's contract is *exact* equivalence with the scalar
+pipeline — identical cycles, identical ActivityCounts field by field,
+identical watts — not agreement within tolerance.  The property test
+drives randomized configs, trace lengths, memory modes, warming, and
+prefetch through both paths; the campaign tests check the contract
+survives chunking, journaling, and resume.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designspace import sample_uar, sampling_space
+from repro.harness import ResilienceConfig, get_scale, run_campaign
+from repro.harness.resilience import ChunkFailure, Fault, FaultPlan
+from repro.obs.metrics import isolated_registry
+from repro.simulator import Simulator
+from repro.workloads import BENCHMARK_NAMES, get_profile
+
+SPACE = sampling_space()
+
+
+def assert_identical(batch_results, scalar_results):
+    """The equivalence contract: exact, field-by-field, no tolerances."""
+    assert len(batch_results) == len(scalar_results)
+    for got, want in zip(batch_results, scalar_results):
+        assert got.cycles == want.cycles
+        assert got.counts.as_dict() == want.counts.as_dict()
+        assert float(got.watts) == float(want.watts)
+        assert got.benchmark == want.benchmark
+
+
+class TestEquivalenceProperty:
+    @settings(deadline=None, max_examples=12)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_points=st.integers(min_value=1, max_value=6),
+        trace_length=st.integers(min_value=150, max_value=600),
+        memory_mode=st.sampled_from(["stack", "functional"]),
+        warm=st.booleans(),
+        prefetch=st.booleans(),
+        benchmark=st.sampled_from(("gzip", "mesa", "mcf")),
+    )
+    def test_batch_matches_scalar(
+        self, seed, n_points, trace_length, memory_mode, warm, prefetch,
+        benchmark,
+    ):
+        simulator = Simulator(memory_mode=memory_mode, warm=warm)
+        trace = simulator.trace_for(
+            get_profile(benchmark), trace_length, seed=seed % 3
+        )
+        points = sample_uar(SPACE, n_points, seed=seed)
+        batch = simulator.simulate_batch(
+            SPACE, points, trace, prefetch=prefetch
+        )
+        scalar = [
+            simulator.simulate_point(SPACE, point, trace, prefetch=prefetch)
+            for point in points
+        ]
+        assert_identical(batch, scalar)
+
+
+class TestBatchAPI:
+    def test_every_benchmark_matches_scalar(self):
+        simulator = Simulator()
+        points = sample_uar(SPACE, 4, seed=13)
+        for benchmark in BENCHMARK_NAMES:
+            trace = simulator.trace_for(get_profile(benchmark), 400, seed=1)
+            batch = simulator.simulate_batch(SPACE, points, trace)
+            scalar = [
+                simulator.simulate_point(SPACE, p, trace) for p in points
+            ]
+            assert_identical(batch, scalar)
+
+    def test_block_split_matches_single_block(self):
+        simulator = Simulator()
+        trace = simulator.trace_for(get_profile("gzip"), 400, seed=2)
+        points = sample_uar(SPACE, 8, seed=3)
+        whole = simulator.simulate_batch(SPACE, points, trace)
+        for batch_size in (1, 3, 8, 64):
+            split = simulator.simulate_batch(
+                SPACE, points, trace, batch_size=batch_size
+            )
+            assert_identical(split, whole)
+
+    def test_empty_points_returns_empty(self):
+        simulator = Simulator()
+        trace = simulator.trace_for(get_profile("gzip"), 200, seed=0)
+        assert simulator.simulate_batch(SPACE, [], trace) == []
+
+    def test_rejects_bad_batch_size(self):
+        simulator = Simulator()
+        trace = simulator.trace_for(get_profile("gzip"), 200, seed=0)
+        points = sample_uar(SPACE, 2, seed=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            simulator.simulate_batch(SPACE, points, trace, batch_size=0)
+
+    def test_simulate_many_delegates_to_batch(self):
+        simulator = Simulator()
+        trace = simulator.trace_for(get_profile("gzip"), 300, seed=4)
+        points = sample_uar(SPACE, 3, seed=5)
+        assert_identical(
+            simulator.simulate_many(SPACE, points, trace),
+            simulator.simulate_batch(SPACE, points, trace),
+        )
+
+    def test_batch_metrics_are_reported(self):
+        with isolated_registry() as registry:
+            simulator = Simulator()
+            trace = simulator.trace_for(get_profile("gzip"), 300, seed=6)
+            points = sample_uar(SPACE, 5, seed=7)
+            simulator.simulate_batch(SPACE, points, trace, batch_size=2)
+            counters = registry.snapshot()["counters"]
+            assert counters["simulator.batch.points"] == 5
+            assert counters["simulator.batch.blocks"] == 3
+            assert counters["simulator.instructions"] == 5 * len(trace)
+
+
+class TestTraceCacheLRU:
+    def test_rejects_bad_cache_size(self):
+        with pytest.raises(ValueError, match="trace_cache_size"):
+            Simulator(trace_cache_size=0)
+
+    def test_hit_miss_evict_counters(self):
+        with isolated_registry() as registry:
+            simulator = Simulator(trace_cache_size=2)
+            profile = get_profile("gzip")
+            simulator.trace_for(profile, 200, seed=0)   # miss
+            simulator.trace_for(profile, 200, seed=0)   # hit
+            simulator.trace_for(profile, 200, seed=1)   # miss
+            simulator.trace_for(profile, 200, seed=2)   # miss, evicts seed=0
+            counters = registry.snapshot()["counters"]
+            assert counters["sim.trace_cache.hit"] == 1
+            assert counters["sim.trace_cache.miss"] == 3
+            assert counters["sim.trace_cache.evict"] == 1
+            assert len(simulator._trace_cache) == 2
+
+    def test_eviction_order_is_least_recently_used(self):
+        simulator = Simulator(trace_cache_size=2)
+        profile = get_profile("gzip")
+        simulator.trace_for(profile, 200, seed=0)
+        simulator.trace_for(profile, 200, seed=1)
+        simulator.trace_for(profile, 200, seed=0)   # refresh seed=0
+        simulator.trace_for(profile, 200, seed=2)   # evicts seed=1, not 0
+        keys = list(simulator._trace_cache)
+        assert ("gzip", 200, 0) in keys
+        assert ("gzip", 200, 1) not in keys
+
+    def test_evicted_trace_regenerates_identically(self):
+        simulator = Simulator(trace_cache_size=1)
+        profile = get_profile("gzip")
+        first = simulator.trace_for(profile, 200, seed=0)
+        simulator.trace_for(profile, 200, seed=1)   # evicts seed=0
+        again = simulator.trace_for(profile, 200, seed=0)
+        assert first is not again
+        assert np.array_equal(first.op, again.op)
+        assert np.array_equal(first.mem_block, again.mem_block)
+        assert np.array_equal(first.taken, again.taken)
+
+
+class TestCampaignBatchPath:
+    """The chunked campaign path runs on the batch kernel; the serial path
+    stays scalar as the reference — so these are campaign-level
+    batch-vs-scalar equivalence checks, with journaling in the loop."""
+
+    @pytest.fixture(scope="class")
+    def tiny_scale(self):
+        return get_scale("ci").with_overrides(
+            name="tiny-batch", trace_length=400, n_train=6, n_validation=2
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_campaign(self, tiny_scale):
+        return run_campaign(Simulator(), scale=tiny_scale, benchmarks=["gzip"])
+
+    def assert_campaigns_equal(self, got, want):
+        for split in ("train", "validation"):
+            got_metrics = got.dataset("gzip", split).metrics
+            want_metrics = want.dataset("gzip", split).metrics
+            assert np.array_equal(got_metrics["bips"], want_metrics["bips"])
+            assert np.array_equal(got_metrics["watts"], want_metrics["watts"])
+
+    def test_chunked_batch_path_matches_scalar_serial(
+        self, tiny_scale, serial_campaign
+    ):
+        for batch_size in (None, 2):
+            chunked = run_campaign(
+                Simulator(),
+                scale=tiny_scale,
+                benchmarks=["gzip"],
+                resilience=ResilienceConfig(),
+                batch_size=batch_size,
+            )
+            self.assert_campaigns_equal(chunked, serial_campaign)
+
+    def test_resumed_journaled_run_is_bitwise_identical(
+        self, tiny_scale, serial_campaign, tmp_path
+    ):
+        path = tmp_path / "campaign.journal.jsonl"
+        faults = FaultPlan([Fault(chunk=5, kind="permanent")])
+        with pytest.raises(ChunkFailure):
+            run_campaign(
+                Simulator(),
+                scale=tiny_scale,
+                benchmarks=["gzip"],
+                resilience=ResilienceConfig(
+                    journal_path=path, faults=faults
+                ),
+            )
+        assert path.exists()
+        resumed = run_campaign(
+            Simulator(),
+            scale=tiny_scale,
+            benchmarks=["gzip"],
+            resilience=ResilienceConfig(journal_path=path, resume=True),
+        )
+        assert resumed.run_report.resumed >= 1
+        self.assert_campaigns_equal(resumed, serial_campaign)
