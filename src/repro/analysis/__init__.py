@@ -20,28 +20,50 @@ Typical use::
 
 from .baseline import Baseline, BaselineEntry, BaselineError
 from .context import PACKAGE_RANKS, ModuleContext, ProjectContext
+from .dataflow import (
+    DataflowIndex,
+    ModuleSummary,
+    SummaryCache,
+    build_index,
+    summarize_module,
+)
 from .findings import Finding, Severity
 from .registry import Rule, all_rules, get_rule, register, select_rules
 from .report import render_json, render_text
-from .runner import AnalysisReport, analyze_paths, collect_files
+from .runner import (
+    CACHE_SUBDIR,
+    AnalysisReport,
+    UsageError,
+    analyze_paths,
+    collect_files,
+    dataflow_index,
+)
 
 __all__ = [
     "AnalysisReport",
     "Baseline",
     "BaselineEntry",
     "BaselineError",
+    "CACHE_SUBDIR",
+    "DataflowIndex",
     "Finding",
     "ModuleContext",
+    "ModuleSummary",
     "PACKAGE_RANKS",
     "ProjectContext",
     "Rule",
     "Severity",
+    "SummaryCache",
+    "UsageError",
     "all_rules",
     "analyze_paths",
+    "build_index",
     "collect_files",
+    "dataflow_index",
     "get_rule",
     "register",
     "render_json",
     "render_text",
     "select_rules",
+    "summarize_module",
 ]

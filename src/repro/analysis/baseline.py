@@ -134,6 +134,9 @@ class Baseline:
 
         Entries for rules outside ``ran_rules`` (when given) are neither
         matched nor stale — a rule that did not run cannot age them out.
+        Each entry suppresses at most one finding: two findings sharing a
+        stripped source line need two entries, so a duplicated violation
+        cannot hide behind a single accepted one.
         """
         active: List[Finding] = []
         suppressed: List[Tuple[Finding, BaselineEntry]] = []
@@ -141,6 +144,8 @@ class Baseline:
         for finding in findings:
             match: Optional[int] = None
             for index, entry in enumerate(self.entries):
+                if used[index]:
+                    continue
                 if entry.matches(finding):
                     match = index
                     break

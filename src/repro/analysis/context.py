@@ -56,13 +56,33 @@ def root_names(node: ast.AST) -> List[str]:
     return [n.id for n in ast.walk(node) if isinstance(n, ast.Name)]
 
 
-def _collect_aliases(tree: ast.AST) -> Dict[str, str]:
+def _relative_base(module: str, is_package: bool, level: int) -> Optional[str]:
+    """The absolute package a relative import of ``level`` anchors at.
+
+    For a plain module ``a.b.c``, level 1 resolves against ``a.b`` and
+    level 2 against ``a``; for a package ``__init__`` the module itself is
+    the first anchor.  Returns None when the import climbs past the top.
+    """
+    parts = module.split(".") if module else []
+    anchor = parts if is_package else parts[:-1]
+    drop = level - 1
+    if drop > len(anchor) or not anchor[: len(anchor) - drop]:
+        return None
+    return ".".join(anchor[: len(anchor) - drop])
+
+
+def _collect_aliases(
+    tree: ast.AST, module: str = "", is_package: bool = False
+) -> Dict[str, str]:
     """Map local names to the dotted import target they refer to.
 
     ``import numpy as np`` yields ``{"np": "numpy"}``; ``from numpy import
     random as r`` yields ``{"r": "numpy.random"}``.  Relative imports are
-    skipped — rules that care about them (layering) read the Import nodes
-    directly.
+    resolved against ``module`` (the importer's dotted name) into absolute
+    targets — ``from ..obs.metrics import x`` inside ``repro.harness.y``
+    yields ``{"x": "repro.obs.metrics.x"}`` — which is what lets the
+    dataflow call graph follow intra-repo calls.  Star imports bind no
+    usable local name and are skipped.
     """
     aliases: Dict[str, str] = {}
     for node in ast.walk(tree):
@@ -71,10 +91,22 @@ def _collect_aliases(tree: ast.AST) -> Dict[str, str]:
                 local = alias.asname or alias.name.split(".")[0]
                 target = alias.name if alias.asname else alias.name.split(".")[0]
                 aliases[local] = target
-        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module
+            else:
+                base = _relative_base(module, is_package, node.level)
+                if base is None:
+                    continue
+                if node.module:
+                    base = f"{base}.{node.module}"
+            if not base:
+                continue
             for alias in node.names:
+                if alias.name == "*":
+                    continue
                 local = alias.asname or alias.name
-                aliases[local] = f"{node.module}.{alias.name}"
+                aliases[local] = f"{base}.{alias.name}"
     return aliases
 
 
@@ -172,26 +204,37 @@ def build_module_context(
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:
         return None, f"syntax error: {error.msg} (line {error.lineno})"
+    module = module_name(relpath)
     ctx = ModuleContext(
         path=path,
         relpath=relpath,
-        module=module_name(relpath),
+        module=module,
         package=package_of(relpath),
         source=source,
         lines=source.splitlines(),
         tree=tree,
         is_test=is_test_path(relpath),
-        aliases=_collect_aliases(tree),
+        aliases=_collect_aliases(
+            tree, module=module, is_package=Path(relpath).stem == "__init__"
+        ),
     )
     return ctx, None
 
 
 @dataclass
 class ProjectContext:
-    """All module contexts of one analysis run."""
+    """All module contexts of one analysis run.
+
+    ``summaries`` optionally carries precomputed per-module dataflow
+    summaries (the runner supplies them, cache- and worker-sourced);
+    :meth:`dataflow` builds them on demand otherwise, so project rules can
+    always ask for the interprocedural index.
+    """
 
     root: Path
     modules: List[ModuleContext]
+    summaries: Optional[List] = None
+    _dataflow: Optional[object] = field(default=None, init=False, repr=False)
 
     def iter_package(self, package: str) -> Iterator[ModuleContext]:
         """Modules belonging to one ranked ``repro`` package."""
@@ -205,3 +248,25 @@ class ProjectContext:
             if ctx.relpath.endswith(suffix):
                 return ctx
         return None
+
+    def context_for(self, module: str) -> Optional[ModuleContext]:
+        """The module context with dotted name ``module``, if analyzed."""
+        for ctx in self.modules:
+            if ctx.module == module:
+                return ctx
+        return None
+
+    def dataflow(self):
+        """The memoized interprocedural :class:`~.dataflow.DataflowIndex`.
+
+        Built from ``summaries`` when the runner provided them, otherwise
+        summarized fresh from the parsed module contexts.
+        """
+        if self._dataflow is None:
+            from .dataflow import build_index, summarize_module
+
+            summaries = self.summaries
+            if summaries is None:
+                summaries = [summarize_module(ctx) for ctx in self.modules]
+            self._dataflow = build_index(summaries)
+        return self._dataflow

@@ -1,0 +1,55 @@
+"""Interprocedural dataflow layer: summaries, call graph, reachability.
+
+Public surface:
+
+- :func:`summarize_module` — condense one parsed module into a
+  JSON-round-trippable :class:`ModuleSummary`.
+- :func:`build_index` — fold summaries into a :class:`DataflowIndex`
+  (import graph, conservative call graph, pool-worker entrypoints,
+  RNG factories, memoization registrations).
+- :meth:`DataflowIndex.reachable_from` — BFS reachability with a
+  representative entrypoint per reached function.
+- :class:`SummaryCache` / :func:`cache_key` — the content-addressed
+  per-file cache behind the incremental runner.
+"""
+
+from .cache import SummaryCache, cache_key
+from .graph import (
+    DataflowIndex,
+    RngFactory,
+    build_index,
+    is_memoized,
+    seed_argument,
+)
+from .summaries import (
+    ArgInfo,
+    CallSite,
+    FunctionSummary,
+    GlobalWrite,
+    ModuleSummary,
+    ParamMutation,
+    RngEvent,
+    RNG_CONSTRUCTORS,
+    SUMMARY_SCHEMA_VERSION,
+    summarize_module,
+)
+
+__all__ = [
+    "ArgInfo",
+    "CallSite",
+    "DataflowIndex",
+    "FunctionSummary",
+    "GlobalWrite",
+    "ModuleSummary",
+    "ParamMutation",
+    "RNG_CONSTRUCTORS",
+    "RngEvent",
+    "RngFactory",
+    "SUMMARY_SCHEMA_VERSION",
+    "SummaryCache",
+    "build_index",
+    "cache_key",
+    "is_memoized",
+    "seed_argument",
+    "summarize_module",
+]

@@ -69,6 +69,19 @@ class Finding:
             "context": self.context,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (cache, workers)."""
+        return cls(
+            rule=str(payload["rule"]),
+            severity=Severity.from_label(str(payload["severity"])),
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload.get("col", 0)),
+            message=str(payload["message"]),
+            context=str(payload.get("context", "")),
+        )
+
 
 @dataclass
 class RuleStats:

@@ -2,16 +2,19 @@
 
 Importing this package registers every rule:
 
-- ``DET*``  determinism (global RNG state, unseeded generators)
+- ``DET*``  determinism (global RNG state, unseeded generators, RNG escape)
 - ``NUM*``  numerical safety (float equality, division, log/sqrt domains)
 - ``LAY*``  package layering (the repro import DAG)
 - ``CON*``  cross-layer contracts (design space <-> simulator <-> models)
 - ``HYG*``  error hygiene (bare/silent excepts, mutable defaults)
 - ``OBS*``  observability (harness timing must go through repro.obs)
 - ``PERF*`` performance (batchable per-point simulation loops)
+- ``RACE*`` concurrency (module state written on pool-worker call paths)
+- ``PURE*`` purity (memoized functions with side effects)
 """
 
 from . import (
+    concurrency,
     contracts,
     determinism,
     hygiene,
@@ -19,9 +22,11 @@ from . import (
     numeric,
     observability,
     performance,
+    purity,
 )
 
 __all__ = [
+    "concurrency",
     "contracts",
     "determinism",
     "hygiene",
@@ -29,4 +34,5 @@ __all__ = [
     "numeric",
     "observability",
     "performance",
+    "purity",
 ]

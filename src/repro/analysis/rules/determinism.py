@@ -12,9 +12,10 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..context import ModuleContext
+from ..context import ModuleContext, ProjectContext
 from ..findings import Finding, Severity
 from ..registry import Rule, register
+from ..dataflow import RNG_CONSTRUCTORS, seed_argument
 
 #: ``random.*`` functions that read or mutate the module-global state.
 _STDLIB_STATE = {
@@ -43,12 +44,10 @@ _GLOBAL_STATE = (
     | {f"numpy.random.{name}" for name in _NUMPY_STATE}
 )
 
-#: RNG constructors that accept (and here must receive) a seed.
-_RNG_CONSTRUCTORS = {
-    "numpy.random.default_rng",
-    "numpy.random.RandomState",
-    "random.Random",
-}
+#: RNG constructors that accept (and here must receive) a seed.  The
+#: canonical set lives in the dataflow layer so the interprocedural
+#: escape analysis (DET003) and the local check (DET002) agree.
+_RNG_CONSTRUCTORS = RNG_CONSTRUCTORS
 
 
 def _is_none(node: ast.expr) -> bool:
@@ -118,3 +117,58 @@ class UnseededGenerator(Rule):
                 f"{resolved}() constructed without an explicit seed",
                 col=node.col_offset,
             )
+
+
+@register
+class UnseededRngEscape(Rule):
+    """DET003: a factory-built RNG escapes unseeded into non-test code."""
+
+    id = "DET003"
+    name = "unseeded-rng-escape"
+    severity = Severity.ERROR
+    scope = "project"
+    exempt_tests = True
+    description = (
+        "Call into an RNG factory (a function that builds and returns a"
+        " generator seeded from a parameter) without an effective seed —"
+        " omitted with a None default, or an explicit None — so an"
+        " unseeded generator escapes into simulation/harness code."
+        " Closes the interprocedural blind spot of DET001/DET002."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Flag factory call sites whose seed slot resolves to None."""
+        index = project.dataflow()
+        for module in sorted(index.modules):
+            mod = index.modules[module]
+            if mod.is_test:
+                continue
+            ctx = project.context_for(module)
+            if ctx is None:
+                continue
+            for fn in mod.functions:
+                for site in fn.calls:
+                    resolved = index.resolve(site.target)
+                    if resolved is None:
+                        continue
+                    factory = index.rng_factories.get(resolved)
+                    if factory is None or factory.qualname == fn.qualname:
+                        continue
+                    info = seed_argument(index, site, factory)
+                    if info is None:
+                        if not factory.none_default:
+                            continue
+                        how = (
+                            f"seed omitted and {factory.qualname}'s "
+                            f"'{factory.seed_param}' defaults to None"
+                        )
+                    elif info.is_none:
+                        how = f"explicit None '{factory.seed_param}'"
+                    else:
+                        continue
+                    yield self.finding(
+                        ctx,
+                        site.lineno,
+                        f"unseeded RNG escapes from factory "
+                        f"{factory.qualname} into {fn.qualname}: {how}",
+                    )

@@ -1,0 +1,68 @@
+"""Purity rules (PURE) — memoized functions must not have side effects.
+
+Three memoization boundaries exist in this codebase: ``functools``
+caches, ``Trace.derived`` build callables (computed once per key, then
+served from the trace's cache), and sweep reducers' ``update`` methods
+(replayed from checkpoints on resume).  A function behind any of them
+that mutates its arguments or module state produces different program
+states depending on whether the cache was warm — the classic
+heisenbug that breaks bitwise replay.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..context import ProjectContext
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+from ..dataflow import is_memoized
+
+
+@register
+class ImpureMemoizedFunction(Rule):
+    """PURE001: memoized function mutates arguments or globals."""
+
+    id = "PURE001"
+    name = "impure-memoized-function"
+    severity = Severity.WARNING
+    scope = "project"
+    exempt_tests = True
+    description = (
+        "A function behind a memoization boundary (functools cache,"
+        " Trace.derived build callable, reducer update) mutates an"
+        " argument or module-level state — its side effects depend on"
+        " cache warmth and break replay determinism."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Flag argument/global mutations inside memoized functions."""
+        index = project.dataflow()
+        for qualname in sorted(index.functions):
+            fn = index.functions[qualname]
+            mod = index.module_of(qualname)
+            if mod is None or mod.is_test:
+                continue
+            if not is_memoized(index, fn):
+                continue
+            ctx = project.context_for(mod.module)
+            if ctx is None:
+                continue
+            for mutation in fn.param_mutations:
+                if mutation.name in ("self", "cls"):
+                    continue
+                yield self.finding(
+                    ctx,
+                    mutation.lineno,
+                    f"memoized function {qualname} mutates its argument "
+                    f"'{mutation.name}' — the mutation only happens on "
+                    "cache misses",
+                )
+            for write in fn.global_writes:
+                yield self.finding(
+                    ctx,
+                    write.lineno,
+                    f"memoized function {qualname} writes module-level "
+                    f"state '{write.name}' — the write only happens on "
+                    "cache misses",
+                )

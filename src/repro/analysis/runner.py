@@ -2,8 +2,22 @@
 
 :func:`analyze_paths` is the single entry point used by the CLI, the
 pytest gate and CI.  It parses every ``.py`` file under the given paths,
-runs module-scoped rules per file and project-scoped rules once, then
-filters the findings through the baseline.
+runs module-scoped rules per file and project-scoped rules once over the
+whole tree, then filters the findings through the baseline.
+
+Two scaling features sit behind the same entry point:
+
+- **Summary cache** (``cache_dir``): per-file module findings and the
+  dataflow summary are stored keyed by a sha256 over the file's content,
+  its relpath, the module-rule set, and the summary schema version.  On
+  a warm cache, unchanged files skip module-rule execution and
+  summarization entirely (the driver still parses, because
+  project-scoped rules walk the trees).
+- **Parallel module phase** (``jobs``): cache-miss files are farmed to a
+  ``ProcessPoolExecutor``; workers re-parse, run the module rules,
+  summarize, populate the cache, and ship plain dicts back.  Findings
+  are bit-identical to a serial run — the phase is embarrassingly
+  parallel and the project phase always runs in the driver.
 """
 
 from __future__ import annotations
@@ -14,17 +28,37 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .baseline import Baseline, BaselineEntry
 from .context import ModuleContext, ProjectContext, build_module_context
+from .dataflow import (
+    DataflowIndex,
+    ModuleSummary,
+    SummaryCache,
+    build_index,
+    cache_key,
+    summarize_module,
+)
 from .findings import Finding, Severity
 from .registry import Rule, select_rules
 
 #: Rule id attached to files that fail to parse.
 PARSE_RULE_ID = "PARSE"
 
+#: Default cache location, relative to the analysis root.
+CACHE_SUBDIR = Path(".repro_cache") / "analysis"
+
 _SKIP_DIRS = {"__pycache__", ".git", ".repro_cache", "build", "dist"}
 
 
+class UsageError(ValueError):
+    """A caller mistake (bad path argument) — CLI exits 2, not 1."""
+
+
 def collect_files(paths: Iterable[Path]) -> List[Path]:
-    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    """Expand files/directories into a sorted, de-duplicated .py file list.
+
+    Directories are walked recursively for ``*.py``; an explicit file
+    argument that is not Python raises :class:`UsageError` (silently
+    analyzing zero files hides typos like ``repro analyze notes.md``).
+    """
     seen: Dict[Path, None] = {}
     for path in paths:
         path = Path(path)
@@ -40,7 +74,10 @@ def collect_files(paths: Iterable[Path]) -> List[Path]:
         elif path.suffix == ".py":
             candidates = [path]
         else:
-            candidates = []
+            raise UsageError(
+                f"not a Python file or directory: {path} "
+                "(explicit file arguments must end in .py)"
+            )
         for candidate in candidates:
             seen.setdefault(candidate.resolve(), None)
     return sorted(seen)
@@ -56,6 +93,8 @@ class AnalysisReport:
     findings: List[Finding]
     suppressed: List[Tuple[Finding, BaselineEntry]] = field(default_factory=list)
     stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    #: Files whose module phase was served from the summary cache.
+    cache_hits: int = 0
 
     def counts(self) -> Dict[str, int]:
         """Finding tally by severity label."""
@@ -92,16 +131,64 @@ def _parse_failure(path: Path, root: Path, message: str) -> Finding:
     )
 
 
+def _module_findings(ctx: ModuleContext, rules: Sequence[Rule]) -> List[Finding]:
+    """All module-scoped findings for one context."""
+    found: List[Finding] = []
+    for rule in rules:
+        if rule.exempt_tests and ctx.is_test:
+            continue
+        found.extend(rule.check_module(ctx))
+    return found
+
+
+def _module_phase_worker(payload: Tuple[str, str, Tuple[str, ...], Optional[str]]):
+    """Process-pool worker: module rules + summary for one file.
+
+    Re-parses the file (ASTs don't pickle), runs the module-scoped rules,
+    summarizes, writes the cache entry, and returns plain dicts.  Returns
+    ``None`` when the file fails to parse — the driver already recorded
+    the authoritative PARSE finding from its own parse.
+    """
+    path_str, root_str, rule_ids, cache_dir = payload
+    ctx, error = build_module_context(Path(path_str), Path(root_str))
+    if ctx is None:
+        return path_str, None
+    rules = [
+        rule for rule in select_rules(rule_ids) if rule.scope == "module"
+    ]
+    findings = _module_findings(ctx, rules)
+    summary = summarize_module(ctx)
+    if cache_dir is not None:
+        cache = SummaryCache(Path(cache_dir))
+        key = cache_key(ctx.relpath, ctx.source.encode("utf-8"), rule_ids)
+        cache.store(key, summary, findings)
+    return path_str, {
+        "findings": [f.to_dict() for f in findings],
+        "summary": summary.to_dict(),
+    }
+
+
 def analyze_paths(
     paths: Sequence[Path],
     root: Optional[Path] = None,
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
+    jobs: int = 1,
+    cache_dir: Optional[Path] = None,
 ) -> AnalysisReport:
-    """Run the selected rules over ``paths`` and apply ``baseline``."""
+    """Run the selected rules over ``paths`` and apply ``baseline``.
+
+    ``jobs`` parallelizes the module-rule+summary phase; ``cache_dir``
+    enables the content-addressed summary cache (opt-in: library callers
+    and fixture-rooted test runs should not sprout cache directories).
+    """
     root = Path(root) if root is not None else Path.cwd()
     selected: List[Rule] = select_rules(rules)
+    module_rules = [rule for rule in selected if rule.scope == "module"]
+    module_rule_ids = tuple(sorted(rule.id for rule in module_rules))
     files = collect_files(paths)
+
+    cache = SummaryCache(Path(cache_dir)) if cache_dir is not None else None
 
     contexts: List[ModuleContext] = []
     raw_findings: List[Finding] = []
@@ -112,15 +199,73 @@ def analyze_paths(
             continue
         contexts.append(ctx)
 
-    project = ProjectContext(root=root, modules=contexts)
+    # Module phase: cache lookups first, then compute misses (parallel
+    # when jobs > 1).  Summaries are collected for the project phase.
+    summaries: Dict[str, ModuleSummary] = {}
+    misses: List[ModuleContext] = []
+    cache_hits = 0
+    for ctx in contexts:
+        if cache is not None:
+            key = cache_key(
+                ctx.relpath, ctx.source.encode("utf-8"), module_rule_ids
+            )
+            entry = cache.load(key)
+            if entry is not None:
+                summary, findings = entry
+                summaries[ctx.relpath] = summary
+                raw_findings.extend(findings)
+                cache_hits += 1
+                continue
+        misses.append(ctx)
+
+    if misses and jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [
+            (
+                str(ctx.path),
+                str(root),
+                module_rule_ids,
+                str(cache.directory) if cache is not None else None,
+            )
+            for ctx in misses
+        ]
+        by_path = {str(ctx.path): ctx for ctx in misses}
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for path_str, result in pool.map(_module_phase_worker, payloads):
+                ctx = by_path[path_str]
+                if result is None:
+                    # Worker could not parse what the driver could — fall
+                    # back to computing in-process.
+                    raw_findings.extend(_module_findings(ctx, module_rules))
+                    summaries[ctx.relpath] = summarize_module(ctx)
+                    continue
+                raw_findings.extend(
+                    Finding.from_dict(f) for f in result["findings"]
+                )
+                summaries[ctx.relpath] = ModuleSummary.from_dict(
+                    result["summary"]
+                )
+    else:
+        for ctx in misses:
+            findings = _module_findings(ctx, module_rules)
+            summary = summarize_module(ctx)
+            raw_findings.extend(findings)
+            summaries[ctx.relpath] = summary
+            if cache is not None:
+                key = cache_key(
+                    ctx.relpath, ctx.source.encode("utf-8"), module_rule_ids
+                )
+                cache.store(key, summary, findings)
+
+    project = ProjectContext(
+        root=root,
+        modules=contexts,
+        summaries=[summaries[ctx.relpath] for ctx in contexts],
+    )
     for rule in selected:
         if rule.scope == "project":
             raw_findings.extend(rule.check_project(project))
-            continue
-        for ctx in contexts:
-            if rule.exempt_tests and ctx.is_test:
-                continue
-            raw_findings.extend(rule.check_module(ctx))
 
     raw_findings.sort(key=Finding.sort_key)
     baseline = baseline or Baseline.empty()
@@ -134,4 +279,37 @@ def analyze_paths(
         findings=active,
         suppressed=suppressed,
         stale_baseline=stale,
+        cache_hits=cache_hits,
     )
+
+
+def dataflow_index(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    cache_dir: Optional[Path] = None,
+) -> DataflowIndex:
+    """Build just the interprocedural index (``repro analyze --graph``).
+
+    Shares the summary cache with :func:`analyze_paths` when the cached
+    entry's rule set matches the full module-rule set (the CLI default).
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    module_rule_ids = tuple(
+        sorted(rule.id for rule in select_rules(None) if rule.scope == "module")
+    )
+    cache = SummaryCache(Path(cache_dir)) if cache_dir is not None else None
+    summaries: List[ModuleSummary] = []
+    for path in collect_files(paths):
+        ctx, _error = build_module_context(path, root)
+        if ctx is None:
+            continue
+        if cache is not None:
+            key = cache_key(
+                ctx.relpath, ctx.source.encode("utf-8"), module_rule_ids
+            )
+            entry = cache.load(key)
+            if entry is not None:
+                summaries.append(entry[0])
+                continue
+        summaries.append(summarize_module(ctx))
+    return build_index(summaries)

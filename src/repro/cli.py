@@ -302,6 +302,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list the registered rules and exit",
     )
+    analyze_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallel workers for the parse+module-rule phase (default 1)",
+    )
+    analyze_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the per-file summary cache (.repro_cache/analysis/)",
+    )
+    analyze_parser.add_argument(
+        "--graph", action="store_true",
+        help="dump the import/call graph (entrypoints, RNG factories) as "
+        "JSON and exit",
+    )
     analyze_parser.set_defaults(func=_cmd_analyze)
 
     report_parser = subparsers.add_parser(
@@ -397,11 +410,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    import json as _json
+
     from .analysis import (
+        CACHE_SUBDIR,
         Baseline,
         BaselineError,
+        UsageError,
         all_rules,
         analyze_paths,
+        dataflow_index,
         render_json,
         render_text,
     )
@@ -420,6 +438,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
+    cache_dir = None if args.no_cache else CACHE_SUBDIR
+
+    if args.graph:
+        try:
+            index = dataflow_index(paths, cache_dir=cache_dir)
+        except UsageError as error:
+            print(error, file=sys.stderr)
+            return 2
+        print(_json.dumps(index.to_json(), indent=2))
+        return 0
+
     baseline_path = Path(args.baseline) if args.baseline else Path(
         "analysis-baseline.json"
     )
@@ -437,7 +466,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             rule for token in args.select for rule in token.split(",") if rule
         ]
     try:
-        report = analyze_paths(paths, rules=selected, baseline=baseline)
+        report = analyze_paths(
+            paths,
+            rules=selected,
+            baseline=baseline,
+            jobs=max(1, args.jobs),
+            cache_dir=cache_dir,
+        )
+    except UsageError as error:
+        print(error, file=sys.stderr)
+        return 2
     except KeyError as error:
         print(error, file=sys.stderr)
         return 2

@@ -1,0 +1,18 @@
+"""Module-level mutable state a pool worker must not write."""
+
+RESULTS = []
+TOTAL = 0.0
+
+
+def bump(amount):
+    global TOTAL
+    TOTAL += amount
+
+
+def record(value):
+    RESULTS.append(value)
+
+
+def reset_driver_side():
+    global TOTAL
+    TOTAL = 0.0

@@ -1,0 +1,24 @@
+"""Chunk worker handed to a process pool; its helpers touch globals."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from .state import bump, record, reset_driver_side
+
+
+def simulate_chunk(chunk):
+    bump(1.0)
+    record(chunk)
+    return chunk
+
+
+def run_chunks(chunks):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(simulate_chunk, chunk) for chunk in chunks]
+    return [future.result() for future in futures]
+
+
+def driver_summary():
+    # Near-miss: writes globals too, but only the driver ever calls it —
+    # it is not reachable from any pool entrypoint.
+    reset_driver_side()
+    return True

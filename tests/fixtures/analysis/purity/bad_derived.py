@@ -1,0 +1,11 @@
+"""A Trace.derived build callable that mutates module state."""
+
+SEEN = []
+
+
+def register_view(trace):
+    def build():
+        SEEN.append("view")
+        return list(SEEN)
+
+    return trace.derived(("view",), build)

@@ -1,0 +1,12 @@
+"""Impure memoized helpers: mutations happen only on cache misses."""
+
+from functools import lru_cache
+
+HITS = {}
+
+
+@lru_cache(maxsize=None)
+def tally(name, bucket):
+    bucket.append(name)
+    HITS[name] = True
+    return len(bucket)

@@ -1,0 +1,17 @@
+"""A reducer update must not mutate the incoming block."""
+
+
+class SweepReducer:
+    """Base protocol."""
+
+    def update(self, block):
+        raise NotImplementedError
+
+
+class RunningMeanReducer(SweepReducer):
+    """Impure: clobbers the block it folds."""
+
+    def update(self, block):
+        block.bips[0] = 0.0
+        self.count = 1
+        return block.bips[0]

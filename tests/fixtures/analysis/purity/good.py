@@ -1,0 +1,19 @@
+"""Pure memoized helpers and self-only reducers: silent near-misses."""
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=None)
+def square(value):
+    return value * value
+
+
+class RunningTotalReducer:
+    """Accumulates into self only — reducers may mutate their own state."""
+
+    def __init__(self):
+        self.total = 0.0
+
+    def update(self, block):
+        self.total += float(block)
+        return self.total

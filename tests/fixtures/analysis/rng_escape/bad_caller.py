@@ -1,0 +1,13 @@
+"""Unseeded escapes: factories called without an effective seed."""
+
+from factory import forward_rng, make_rng
+
+
+def run_sim():
+    rng = make_rng()
+    return rng.normal()
+
+
+def resume_sim():
+    rng = forward_rng(seed=None)
+    return rng.standard_normal()

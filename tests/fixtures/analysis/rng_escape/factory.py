@@ -1,0 +1,11 @@
+"""RNG factories: the seed flows from a parameter to the constructor."""
+
+import numpy as np
+
+
+def make_rng(seed=None):
+    return np.random.default_rng(seed)
+
+
+def forward_rng(seed=None):
+    return make_rng(seed)

@@ -1,0 +1,13 @@
+"""Seeded factory calls: silent near-misses."""
+
+from factory import forward_rng, make_rng
+
+
+def run_sim():
+    rng = make_rng(7)
+    return rng.normal()
+
+
+def resume_sim():
+    rng = forward_rng(seed=123)
+    return rng.standard_normal()

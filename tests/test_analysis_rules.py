@@ -13,6 +13,7 @@ from repro.analysis import (
     Baseline,
     BaselineEntry,
     BaselineError,
+    Finding,
     Severity,
     all_rules,
     analyze_paths,
@@ -22,6 +23,7 @@ from repro.analysis import (
 )
 
 FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+REPO = Path(__file__).resolve().parents[1]
 
 
 def run(subdir, **kwargs):
@@ -154,6 +156,60 @@ class TestPerformance:
         assert not [f for f in report.findings if "good" in f.path]
 
 
+class TestConcurrency:
+    def test_worker_reachable_writes_fire_exactly(self):
+        assert hits(run("concurrency")) == [
+            ("RACE001", "harness/state.py", 9),
+            ("RACE002", "harness/state.py", 13),
+        ]
+
+    def test_driver_only_writes_are_silent(self):
+        # ``reset_driver_side`` writes the same globals but is only
+        # called from ``driver_summary``, which no pool entrypoint
+        # reaches — the near-miss must stay silent.
+        report = run("concurrency")
+        assert not [f for f in report.findings if f.line >= 16]
+
+    def test_worker_module_alone_is_silent(self):
+        # Partial tree: without the submitting module there are no
+        # entrypoints, so the project rules must not guess.
+        root = FIXTURES / "concurrency" / "harness"
+        report = analyze_paths([root / "state.py"], root=root)
+        assert [f.rule for f in report.findings] == []
+
+
+class TestPurity:
+    def test_impure_memoized_functions_fire_exactly(self):
+        assert hits(run("purity")) == [
+            ("PURE001", "bad_derived.py", 8),
+            ("PURE001", "bad_memo.py", 10),
+            ("PURE001", "bad_memo.py", 11),
+            ("PURE001", "bad_reducer.py", 15),
+        ]
+
+    def test_pure_memo_and_self_mutating_reducer_are_silent(self):
+        report = run("purity")
+        assert not [f for f in report.findings if f.path == "good.py"]
+
+
+class TestRngEscape:
+    def test_unseeded_factory_calls_fire_exactly(self):
+        assert hits(run("rng_escape")) == [
+            ("DET003", "bad_caller.py", 7),
+            ("DET003", "bad_caller.py", 12),
+        ]
+
+    def test_seeded_factory_calls_are_silent(self):
+        report = run("rng_escape")
+        assert not [f for f in report.findings if f.path == "good_caller.py"]
+
+    def test_factory_module_itself_is_silent(self):
+        # The factory forwards its parameter — only call sites that pin
+        # the seed to None (or rely on a None default) are escapes.
+        report = run("rng_escape")
+        assert not [f for f in report.findings if f.path == "factory.py"]
+
+
 class TestAcceptanceTriple:
     def test_seeded_violations_yield_exactly_three_findings(self):
         """The ISSUE acceptance check: one DET001, one LAY001, one HYG001."""
@@ -210,6 +266,31 @@ class TestBaseline:
         assert clean.findings == []
         assert clean.exit_code(strict=True) == 0
 
+    def test_duplicate_context_findings_consume_entries_once(self):
+        # Two findings sharing a stripped source line must not both hide
+        # behind one baseline entry — each entry suppresses at most one.
+        first = Finding(
+            rule="HYG001", severity=Severity.ERROR, path="a.py",
+            line=3, message="bare except", context="except:",
+        )
+        second = Finding(
+            rule="HYG001", severity=Severity.ERROR, path="a.py",
+            line=9, message="bare except", context="except:",
+        )
+        entry = BaselineEntry(
+            rule="HYG001", path="a.py", context="except:", reason="one"
+        )
+        active, suppressed, stale = Baseline(entries=[entry]).partition(
+            [first, second]
+        )
+        assert [(f.line) for f, _ in suppressed] == [3]
+        assert active == [second]
+        assert stale == []
+        # A second identical entry suppresses the second finding.
+        twice = Baseline(entries=[entry, entry])
+        active, suppressed, stale = twice.partition([first, second])
+        assert active == [] and len(suppressed) == 2 and stale == []
+
     def test_malformed_baseline_raises(self, tmp_path):
         path = tmp_path / "baseline.json"
         path.write_text('{"entries": [{"path": "x.py"}]}')
@@ -218,6 +299,47 @@ class TestBaseline:
 
     def test_missing_baseline_is_empty(self, tmp_path):
         assert Baseline.load(tmp_path / "nope.json").entries == []
+
+
+class TestDocExample:
+    """The docs' "Adding a rule" example must match the real Rule API."""
+
+    def _example_code(self):
+        import re
+
+        text = (REPO / "docs" / "ANALYSIS.md").read_text(encoding="utf-8")
+        section = text.split("## Adding a rule", 1)[1]
+        match = re.search(r"```python\n(.*?)```", section, re.S)
+        assert match, "docs/ANALYSIS.md lost its Adding-a-rule example"
+        return match.group(1)
+
+    def test_example_compiles_and_runs_against_the_real_api(self, tmp_path):
+        code = self._example_code()
+        # Rebind the example's package-relative imports to the installed
+        # modules and neutralize @register so the global registry stays
+        # untouched (the completeness test pins the exact rule-id set).
+        code = code.replace(
+            "from ..findings import Severity",
+            "from repro.analysis.findings import Severity",
+        )
+        code = code.replace(
+            "from ..registry import Rule, register",
+            "from repro.analysis.registry import Rule",
+        )
+        namespace = {"register": lambda cls: cls}
+        exec(compile(code, "docs/ANALYSIS.md", "exec"), namespace)
+        rule = namespace["NoPrintRule"]()
+
+        from repro.analysis.context import build_module_context
+
+        sample = tmp_path / "lib.py"
+        sample.write_text('"""Doc."""\n\nprint("hi")\n')
+        ctx, error = build_module_context(sample, tmp_path)
+        assert error is None
+        findings = list(rule.check_module(ctx))
+        assert [(f.rule, f.line) for f in findings] == [("HYG004", 3)]
+        # The line anchor must also produce the baseline fingerprint.
+        assert findings[0].context == 'print("hi")'
 
 
 class TestRunnerAndReporting:
@@ -259,12 +381,36 @@ class TestRunnerAndReporting:
         ids = [rule.id for rule in rules]
         assert ids == sorted(ids)
         expected = {
-            "DET001", "DET002", "NUM001", "NUM002", "NUM003",
+            "DET001", "DET002", "DET003", "NUM001", "NUM002", "NUM003",
             "LAY001", "CON001", "CON002", "CON003",
             "HYG001", "HYG002", "HYG003", "OBS001", "PERF001",
+            "PURE001", "RACE001", "RACE002",
         }
         assert set(ids) == expected
         for rule in rules:
             assert rule.description, rule.id
             assert rule.scope in ("module", "project"), rule.id
         assert get_rule("LAY001").severity is Severity.ERROR
+        assert get_rule("RACE001").severity is Severity.ERROR
+        assert get_rule("DET003").severity is Severity.ERROR
+
+    def test_every_rule_family_has_fixtures(self):
+        """Each rule id maps to a fixture tree that exercises it."""
+        fixture_dirs = {
+            "DET001": "determinism", "DET002": "determinism",
+            "DET003": "rng_escape",
+            "NUM001": "numeric", "NUM002": "numeric", "NUM003": "numeric",
+            "LAY001": "layering",
+            "CON001": "contracts", "CON002": "contracts",
+            "CON003": "contracts",
+            "HYG001": "hygiene", "HYG002": "hygiene", "HYG003": "hygiene",
+            "OBS001": "observability",
+            "PERF001": "performance",
+            "RACE001": "concurrency", "RACE002": "concurrency",
+            "PURE001": "purity",
+        }
+        assert set(fixture_dirs) == {rule.id for rule in all_rules()}
+        for rule_id, subdir in sorted(fixture_dirs.items()):
+            root = FIXTURES / subdir
+            assert root.is_dir(), f"{rule_id}: missing fixture dir {subdir}"
+            assert list(root.rglob("*.py")), f"{rule_id}: empty {subdir}"

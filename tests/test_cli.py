@@ -299,3 +299,48 @@ class TestAnalyze:
         capsys.readouterr()
         assert main(["analyze", str(tmp_path / "nope")]) == 2
         assert "no such path" in capsys.readouterr().err
+
+    def test_analyze_non_python_file_is_a_usage_error(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        notes = tmp_path / "notes.md"
+        notes.write_text("# notes\n")
+        assert main(["analyze", str(notes)]) == 2
+        assert "not a Python file" in capsys.readouterr().err
+
+    def test_analyze_jobs_matches_serial(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        self._write_bad_file(tmp_path)
+        assert main(["analyze", str(tmp_path), "--no-cache"]) == 1
+        serial_out = capsys.readouterr().out
+        assert main(
+            ["analyze", str(tmp_path), "--no-cache", "--jobs", "2"]
+        ) == 1
+        assert capsys.readouterr().out == serial_out
+
+    def test_analyze_cache_round_trip(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        self._write_bad_file(tmp_path)
+        assert main(["analyze", str(tmp_path)]) == 1
+        capsys.readouterr()
+        assert (tmp_path / ".repro_cache" / "analysis").is_dir()
+        assert main(["analyze", str(tmp_path)]) == 1
+        assert "bad.py" in capsys.readouterr().out
+
+    def test_analyze_graph_dumps_json(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        flow = tmp_path / "flow.py"
+        flow.write_text(
+            '"""Doc."""\n\n'
+            "def work(chunk):\n"
+            "    return chunk\n\n"
+            "def drive(pool, chunks):\n"
+            "    return [pool.submit(work, c) for c in chunks]\n"
+        )
+        assert main(["analyze", str(flow), "--graph"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entrypoints"] == ["flow.work"]
+        assert payload["calls"]["flow.drive"] == ["flow.work"]
