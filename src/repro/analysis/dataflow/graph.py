@@ -35,9 +35,13 @@ _MAX_RESOLVE_DEPTH = 8
 
 #: Call targets whose callable argument becomes a pool-worker entrypoint.
 #: ``ChunkTask(fn=...)`` (or second positional) is the resilience layer's
-#: chunk descriptor; ``.submit(fn, ...)`` is the raw executor API.
+#: chunk descriptor; ``.submit(fn, ...)`` is the raw executor API;
+#: ``Process(target=...)`` / ``Thread(target=...)`` (or second positional)
+#: spawn the distributed workers, whose targets run outside the driver
+#: process just like pool workers do.
 _TASK_WRAPPERS = {"ChunkTask"}
 _SUBMIT_METHODS = {"submit"}
+_PROCESS_WRAPPERS = {"Process", "Thread"}
 
 #: Decorators that memoize the decorated function.
 MEMO_DECORATORS = {
@@ -218,6 +222,14 @@ def _entrypoint_refs(site: CallSite) -> List[str]:
             if info.ref:
                 refs.append(info.ref)
                 break
+    elif last in _PROCESS_WRAPPERS:
+        # Process(target=fn) / Thread(target=fn); the second positional
+        # slot is ``target`` in the stdlib signature (group, target, ...).
+        fn_info = site.kwarg("target")
+        if fn_info is None and len(site.args) >= 2:
+            fn_info = site.args[1]
+        if fn_info is not None and fn_info.ref:
+            refs.append(fn_info.ref)
     return refs
 
 

@@ -1,14 +1,16 @@
 """Concurrency rules (RACE) — pool-worker writes to module state.
 
 Campaign and sweep chunks execute in ``ProcessPoolExecutor`` workers
-(``run_chunks`` in the resilience layer).  A worker that writes
-module-level state writes its *own process's* copy: the write never
-reaches the driver, is silently re-applied on retry, and merges in
-whatever order resume replays chunks.  These rules walk the dataflow
-call graph from every discovered pool entrypoint (``ChunkTask`` ``fn``
-callables, ``.submit`` targets) and flag module-state writes anywhere on
-a reachable path — including helpers the worker calls in other modules,
-which module-local rules cannot see.
+(``run_chunks`` in the resilience layer), and the distributed backend
+spawns long-lived workers via ``multiprocessing.Process``.  A worker
+that writes module-level state writes its *own process's* copy: the
+write never reaches the driver, is silently re-applied on retry, and
+merges in whatever order resume replays chunks.  These rules walk the
+dataflow call graph from every discovered worker entrypoint
+(``ChunkTask`` ``fn`` callables, ``.submit`` targets, and
+``Process``/``Thread`` ``target`` callables) and flag module-state
+writes anywhere on a reachable path — including helpers the worker
+calls in other modules, which module-local rules cannot see.
 """
 
 from __future__ import annotations

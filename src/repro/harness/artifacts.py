@@ -284,6 +284,8 @@ def cached_campaign(
             journal_path=journal_path,
             resume=resilience.resume,
             faults=resilience.faults,
+            backend=resilience.backend,
+            distributed=resilience.distributed,
         )
         if refresh and journal_path.exists():
             journal_path.unlink()

@@ -189,15 +189,17 @@ def _run_campaign_resilient(
                 )
                 chunk_sizes.append(len(chunk))
 
+    fingerprint = _campaign_fingerprint(
+        scale, space, names, simulator.memory_mode, simulator.warm,
+        chunk_sizes,
+    )
     journal = None
     if resilience.journal_path is not None:
-        fingerprint = _campaign_fingerprint(
-            scale, space, names, simulator.memory_mode, simulator.warm,
-            chunk_sizes,
-        )
         if not resilience.resume and resilience.journal_path.exists():
             resilience.journal_path.unlink()
-        journal = Journal.open(resilience.journal_path, fingerprint)
+        journal = Journal.open(
+            resilience.journal_path, fingerprint, strict=resilience.resume
+        )
 
     split_totals = {split: len(pts) for split, pts in splits}
     done_counts = {
@@ -219,6 +221,9 @@ def _run_campaign_resilient(
         faults=resilience.faults,
         validate=_validate_campaign_payload,
         on_chunk=on_chunk,
+        backend=resilience.backend,
+        distributed=resilience.distributed,
+        fingerprint=fingerprint,
     )
     campaign.run_report = report
 

@@ -1,0 +1,1307 @@
+"""Coordinator-less distributed work stealing for the resilient executor.
+
+:func:`repro.harness.resilience.run_chunks` fans chunks over a process
+pool owned by one driver.  This module is the ``backend="distributed"``
+alternative: N independent worker processes — spawned by the driver,
+attached later with ``repro workers spawn``, possibly on different hosts
+sharing one directory — coordinate through *files only*:
+
+- **Lease files** (``leases/chunk-N.lease``) grant one worker the right
+  to execute a chunk.  Claims are atomic creates (write a private file,
+  ``os.link`` it into place — the link fails like ``O_CREAT|O_EXCL`` if
+  a lease exists); owners refresh the lease mtime from a heartbeat
+  thread; a lease whose mtime is older than ``lease_ttl`` is *stolen*
+  with ``os.replace`` and a **fencing token** one higher than the
+  stale owner's.
+- **Journal shards** (``shards/<worker>.jsonl``) are per-worker
+  append-only checksummed journals (the same line format as
+  :class:`~repro.harness.resilience.Journal`) holding each completed
+  chunk's payload, metrics, worker id, fencing token, and sequence
+  number.
+- **Done markers** (``done/chunk-N.done``, ``O_CREAT|O_EXCL``) tell
+  other workers a chunk is finished; **failed markers** abort the run;
+  a **drain flag** asks every worker to exit.
+
+Nothing is ever coordinated in memory, so any worker (or the driver)
+can crash at any point and the survivors finish the run.  Duplicated
+completions — a zombie worker finishing a chunk that was stolen from it
+— are *allowed* and resolved at merge time: for each chunk the record
+with the highest fencing token wins (ties: lowest worker id, then
+lowest sequence number), so a stale worker can never clobber a newer
+result and metrics merge exactly once.  The merge
+(:func:`merge_shard_records`) is a pure, deterministic function of the
+shard record *set*: any interleaving, duplication, or reordering of
+shards yields the identical ``(results, RunReport)`` a serial run
+produces.
+
+Observability: every worker counts ``distributed.chunks_claimed`` /
+``chunks_stolen`` / ``chunks_expired`` / ``lease_contention`` /
+``chunks_completed`` and gauges ``distributed.heartbeat_age_s``
+(labelled ``worker=<id>``); the snapshots ship in a final per-shard
+worker record and merge into ``RunReport.metrics``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import logging
+import os
+import pickle
+import shutil
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import isolated_registry, merge_snapshots
+from ..obs.tracing import Stopwatch, get_tracer
+from .resilience import (
+    ChunkFailure,
+    ChunkRecord,
+    ChunkTask,
+    DistributedConfig,
+    FaultPlan,
+    Journal,
+    JournalFingerprintError,
+    ResilienceError,
+    RetryPolicy,
+    RunReport,
+    _WORKER_FAULT_KINDS,
+    _ChunkEnvelope,
+    _line_for,
+    _run_chunk,
+    append_record,
+    read_journal_records,
+)
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the run-directory layout or shard record format changes.
+PROTOCOL_VERSION = 1
+
+#: Lease-protocol fault kinds interpreted by the worker loop (the
+#: remaining :data:`~repro.harness.resilience.FAULT_KINDS` fire inside
+#: ``_run_chunk`` as usual).
+_PROTOCOL_FAULT_KINDS = ("lease_expiry", "zombie", "torn_write")
+
+_MANIFEST = "manifest.json"
+_BUNDLE = "tasks.pkl"
+_DRAIN = "drain"
+
+
+class _SimulatedCrash(Exception):
+    """Internal: a ``torn_write`` fault 'killed' this worker session."""
+
+
+# -- run-directory layout ------------------------------------------------------
+
+
+def _leases_dir(run_dir: Path) -> Path:
+    return run_dir / "leases"
+
+
+def _done_dir(run_dir: Path) -> Path:
+    return run_dir / "done"
+
+
+def _failed_dir(run_dir: Path) -> Path:
+    return run_dir / "failed"
+
+
+def _shards_dir(run_dir: Path) -> Path:
+    return run_dir / "shards"
+
+
+def _workers_dir(run_dir: Path) -> Path:
+    return run_dir / "workers"
+
+
+def _fired_dir(run_dir: Path) -> Path:
+    return run_dir / "fired"
+
+
+def _tmp_dir(run_dir: Path) -> Path:
+    return run_dir / "tmp"
+
+
+def _lease_path(run_dir: Path, index: int) -> Path:
+    return _leases_dir(run_dir) / f"chunk-{index:06d}.lease"
+
+
+def _done_path(run_dir: Path, index: int) -> Path:
+    return _done_dir(run_dir) / f"chunk-{index:06d}.done"
+
+
+def _failed_path(run_dir: Path, index: int) -> Path:
+    return _failed_dir(run_dir) / f"chunk-{index:06d}.json"
+
+
+def _drain_path(run_dir: Path) -> Path:
+    return run_dir / _DRAIN
+
+
+def default_run_dir(fingerprint: str) -> Path:
+    """The shared coordination directory derived for one run fingerprint.
+
+    Lives under the artifact cache (``REPRO_CACHE_DIR``), so driver and
+    locally attached workers agree on it without configuration.
+    """
+    from .artifacts import cache_dir
+
+    return cache_dir() / "distributed" / fingerprint
+
+
+def _write_atomic(path: Path, data: bytes) -> None:
+    """Write a file so readers never observe a partial state."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _create_marker(path: Path) -> bool:
+    """``O_CREAT|O_EXCL`` marker creation; False when it already exists."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+# -- the work bundle -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkBundle:
+    """Everything a worker needs to execute chunks, pickled into the run dir.
+
+    Workers are spawned with nothing but the run directory: the bundle
+    carries the task list (functions, arguments, sizes), the retry
+    policy, the fault schedule, and the validate/encode hooks, all bound
+    to one ``fingerprint`` so a worker can never execute against a stale
+    layout.
+    """
+
+    fingerprint: str
+    tasks: Tuple[ChunkTask, ...]
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    faults: Optional[FaultPlan] = None
+    validate: Optional[Callable] = None
+    encode: Optional[Callable] = None
+
+
+def init_run_dir(
+    run_dir: Path, bundle: WorkBundle, config: DistributedConfig
+) -> Path:
+    """Create (or re-open) the shared coordination directory for one run.
+
+    Idempotent: an existing directory whose manifest carries the same
+    fingerprint is reused as-is — done markers and shards from a crashed
+    earlier driver keep their value, which is what makes the driver
+    itself crash-safe.  A manifest bound to a *different* fingerprint
+    raises :class:`~repro.harness.resilience.JournalFingerprintError`.
+    """
+    run_dir = Path(run_dir)
+    for sub in (
+        _leases_dir,
+        _done_dir,
+        _failed_dir,
+        _shards_dir,
+        _workers_dir,
+        _fired_dir,
+        _tmp_dir,
+    ):
+        sub(run_dir).mkdir(parents=True, exist_ok=True)
+    manifest_path = run_dir / _MANIFEST
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("fingerprint") != bundle.fingerprint:
+            raise JournalFingerprintError(
+                f"run directory {run_dir} belongs to fingerprint "
+                f"{manifest.get('fingerprint')}, but this run's fingerprint "
+                f"is {bundle.fingerprint}; use a fresh --run-dir"
+            )
+        return run_dir
+    _write_atomic(run_dir / _BUNDLE, pickle.dumps(bundle))
+    manifest = {
+        "version": PROTOCOL_VERSION,
+        "fingerprint": bundle.fingerprint,
+        "n_tasks": len(bundle.tasks),
+        "lease_ttl": config.lease_ttl,
+        "heartbeat_interval": config.heartbeat_interval,
+        "poll_interval": config.poll_interval,
+        "created": time.time(),
+    }
+    # The manifest is written last: its presence tells waiting workers
+    # the bundle is complete and the directory is open for claiming.
+    _write_atomic(
+        manifest_path, json.dumps(manifest, sort_keys=True).encode("utf-8")
+    )
+    return run_dir
+
+
+def _load_manifest(run_dir: Path, timeout: float) -> dict:
+    """Wait for the driver's manifest (workers may start first)."""
+    deadline = time.monotonic() + timeout
+    manifest_path = Path(run_dir) / _MANIFEST
+    while True:
+        if manifest_path.exists():
+            return json.loads(manifest_path.read_text())
+        if time.monotonic() >= deadline:
+            raise ResilienceError(
+                f"no manifest in {run_dir} after {timeout:.0f}s; "
+                "was the run initialized by a driver?"
+            )
+        time.sleep(0.05)
+
+
+# -- leases --------------------------------------------------------------------
+
+
+def _read_lease(path: Path) -> Optional[dict]:
+    """The lease body plus its mtime, or None when no lease exists.
+
+    A half-written body (impossible via the link/replace protocol, but
+    cheap to tolerate) degrades to an anonymous token-0 lease that any
+    worker may steal once stale.
+    """
+    try:
+        raw = path.read_text()
+        mtime = path.stat().st_mtime
+    except OSError:
+        return None
+    try:
+        body = json.loads(raw)
+        if not isinstance(body, dict):
+            body = {}
+    except json.JSONDecodeError:
+        body = {}
+    return {
+        "worker": body.get("worker"),
+        "token": int(body.get("token", 0)),
+        "mtime": mtime,
+    }
+
+
+class _Heartbeat:
+    """Daemon thread refreshing the mtime of every lease this worker owns.
+
+    Ownership is re-verified on every beat by reading the lease body: a
+    lease that was stolen (different worker or token) is silently
+    dropped — the old owner keeps executing, becoming a zombie whose
+    eventual record loses the fencing-token comparison at merge time.
+    The largest observed pre-refresh age lands in the
+    ``distributed.heartbeat_age_s`` gauge.
+    """
+
+    def __init__(self, worker_id: str, interval: float, registry) -> None:
+        self.worker_id = worker_id
+        self.interval = interval
+        self.registry = registry
+        self._owned: Dict[Path, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{worker_id}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def own(self, path: Path, token: int) -> None:
+        with self._lock:
+            self._owned[path] = token
+
+    def disown(self, path: Path) -> None:
+        with self._lock:
+            self._owned.pop(path, None)
+
+    def beat_once(self) -> None:
+        with self._lock:
+            owned = list(self._owned.items())
+        now = time.time()
+        for path, token in owned:
+            lease = _read_lease(path)
+            if (
+                lease is None
+                or lease["worker"] != self.worker_id
+                or lease["token"] != token
+            ):
+                # Stolen (or released); stop refreshing it.
+                self.disown(path)
+                self.registry.increment(
+                    "distributed.chunks_expired", worker=self.worker_id
+                )
+                continue
+            age = max(0.0, now - lease["mtime"])
+            gauge = self.registry.gauge(
+                "distributed.heartbeat_age_s", worker=self.worker_id
+            )
+            gauge.set(max(gauge.value, age))
+            try:
+                os.utime(path)
+            except OSError:
+                self.disown(path)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.beat_once()
+
+
+def _try_claim(
+    run_dir: Path,
+    index: int,
+    worker_id: str,
+    lease_ttl: float,
+    registry,
+) -> Optional[int]:
+    """Claim (or steal) the lease for one chunk; returns the fencing token.
+
+    - No lease: atomically create one at token 1 (temp file + ``os.link``,
+      which fails like ``O_CREAT|O_EXCL`` when another worker won).
+    - Fresh lease held by another worker: back off (None).
+    - Stale lease (mtime older than ``lease_ttl``): steal it with
+      ``os.replace`` at the old token + 1, then read back to confirm we
+      were the last stealer.
+    """
+    lease = _lease_path(run_dir, index)
+    existing = _read_lease(lease)
+    if existing is not None and existing["worker"] == worker_id:
+        os.utime(lease)
+        return existing["token"]
+    if existing is not None:
+        age = time.time() - existing["mtime"]
+        if age <= lease_ttl:
+            return None
+        token = existing["token"] + 1
+    else:
+        token = 1
+    body = json.dumps({"worker": worker_id, "token": token}).encode("utf-8")
+    tmp = _tmp_dir(run_dir) / f"{worker_id}-{index}.claim"
+    _write_atomic(tmp, body)
+    try:
+        if existing is None:
+            try:
+                os.link(tmp, lease)
+            except FileExistsError:
+                registry.increment(
+                    "distributed.lease_contention", worker=worker_id
+                )
+                return None
+            registry.increment(
+                "distributed.chunks_claimed", worker=worker_id
+            )
+            return token
+        os.replace(tmp, lease)
+        confirmed = _read_lease(lease)
+        if (
+            confirmed is not None
+            and confirmed["worker"] == worker_id
+            and confirmed["token"] == token
+        ):
+            registry.increment(
+                "distributed.chunks_claimed", worker=worker_id
+            )
+            registry.increment(
+                "distributed.chunks_stolen", worker=worker_id
+            )
+            return token
+        registry.increment("distributed.lease_contention", worker=worker_id)
+        return None
+    finally:
+        # Best-effort: the temp file was either linked into place or is
+        # orphaned in tmp/; a leftover never blocks later claims.
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+
+
+def _release_lease(run_dir: Path, index: int, worker_id: str) -> None:
+    """Drop our lease; never someone else's (the chunk may be re-leased)."""
+    lease = _lease_path(run_dir, index)
+    body = _read_lease(lease)
+    if body is not None and body["worker"] == worker_id:
+        # A concurrent thief may have replaced the lease between the read
+        # and the unlink; losing that race is the protocol working.
+        with contextlib.suppress(OSError):
+            lease.unlink()
+
+
+def _expire_own_lease(run_dir: Path, index: int, lease_ttl: float) -> None:
+    """Fault helper: backdate our lease so it is instantly stealable."""
+    lease = _lease_path(run_dir, index)
+    stale = time.time() - 2.0 * lease_ttl
+    # If the lease vanished (already stolen) the fault's goal is met.
+    with contextlib.suppress(OSError):
+        os.utime(lease, (stale, stale))
+
+
+# -- the worker ----------------------------------------------------------------
+
+
+def _worker_order(tasks: Sequence[ChunkTask], worker_id: str) -> List[ChunkTask]:
+    """Rotate the scan order per worker so claims rarely collide."""
+    if not tasks:
+        return []
+    start = int(
+        hashlib.sha256(worker_id.encode("utf-8")).hexdigest()[:8], 16
+    ) % len(tasks)
+    return list(tasks[start:]) + list(tasks[:start])
+
+
+def _append_torn(shard: Path, body: dict) -> None:
+    """Fault helper: append only a prefix of the record line (a torn write)."""
+    line = _line_for(body)
+    cut = max(1, len(line) // 2)
+    shard.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(str(shard), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line[:cut])
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _claim_protocol_fault(
+    run_dir: Path, faults: Optional[FaultPlan], index: int, attempt: int
+) -> Optional[str]:
+    """The lease-protocol fault to fire now, exactly once per run.
+
+    A ``fired/`` marker (``O_CREAT|O_EXCL``) makes each injected
+    protocol fault fire exactly once across every worker, session, and
+    retry — otherwise a torn write would recur forever as the chunk is
+    re-claimed at attempt 1.
+    """
+    if faults is None:
+        return None
+    kind = faults.fault_for(index, attempt)
+    if kind not in _PROTOCOL_FAULT_KINDS:
+        return None
+    marker = _fired_dir(run_dir) / f"{kind}-chunk-{index:06d}"
+    if _create_marker(marker):
+        return kind
+    return None
+
+
+def _wait_for_other_completion(
+    run_dir: Path, index: int, poll: float, deadline: float
+) -> None:
+    """Zombie fault: park until another worker finishes the chunk."""
+    while time.monotonic() < deadline:
+        if (
+            _done_path(run_dir, index).exists()
+            or _drain_path(run_dir).exists()
+            or any(True for _ in _failed_dir(run_dir).glob("*.json"))
+        ):
+            return
+        time.sleep(poll)
+
+
+class _WorkerSession:
+    """One worker process's claim-execute-record loop over a run directory."""
+
+    def __init__(
+        self,
+        run_dir: Path,
+        worker_id: str,
+        bundle: WorkBundle,
+        manifest: dict,
+        registry,
+        max_chunks: Optional[int] = None,
+    ):
+        self.run_dir = Path(run_dir)
+        self.worker_id = worker_id
+        self.bundle = bundle
+        self.lease_ttl = float(manifest["lease_ttl"])
+        self.heartbeat_interval = float(manifest["heartbeat_interval"])
+        self.poll_interval = float(manifest["poll_interval"])
+        self.registry = registry
+        self.max_chunks = max_chunks
+        self.shard = _shards_dir(self.run_dir) / f"{worker_id}.jsonl"
+        self.heartbeat = _Heartbeat(
+            worker_id, self.heartbeat_interval, registry
+        )
+        self.seq = 0
+        self.completed: List[int] = []
+        self.crashed = False
+
+    # -- shard records -----------------------------------------------------
+
+    def _append_shard(self, body: dict) -> None:
+        append_record(self.shard, body)
+
+    def _chunk_body(
+        self, task: ChunkTask, attempt: int, token: int, envelope
+    ) -> dict:
+        payload = envelope.payload
+        if self.bundle.encode is not None:
+            payload = self.bundle.encode(payload)
+        self.seq += 1
+        return {
+            "kind": "chunk",
+            "index": task.index,
+            "attempts": attempt,
+            "payload": payload,
+            "metrics": envelope.metrics,
+            "wall_s": envelope.wall_s,
+            "cpu_s": envelope.cpu_s,
+            "worker": self.worker_id,
+            "token": token,
+            "seq": self.seq,
+        }
+
+    # -- control flow ------------------------------------------------------
+
+    def _should_stop(self) -> bool:
+        if _drain_path(self.run_dir).exists():
+            return True
+        return any(True for _ in _failed_dir(self.run_dir).glob("*.json"))
+
+    def _record_failed(self, task: ChunkTask, attempt: int, error) -> None:
+        _write_atomic(
+            _failed_path(self.run_dir, task.index),
+            json.dumps(
+                {
+                    "chunk": task.index,
+                    "meta": [str(m) for m in task.meta],
+                    "attempts": attempt,
+                    "worker": self.worker_id,
+                    "error": f"{type(error).__name__}: {error}",
+                },
+                sort_keys=True,
+            ).encode("utf-8"),
+        )
+
+    def _execute(self, task: ChunkTask, token: int) -> bool:
+        """Run one claimed chunk to completion (True) or failure (False)."""
+        lease = _lease_path(self.run_dir, task.index)
+        self.heartbeat.own(lease, token)
+        policy = self.bundle.policy
+        attempt = 0
+        try:
+            while True:
+                attempt += 1
+                protocol = _claim_protocol_fault(
+                    self.run_dir, self.bundle.faults, task.index, attempt
+                )
+                if protocol in ("lease_expiry", "zombie"):
+                    # Stop defending the lease and backdate it: any other
+                    # worker may now steal the chunk while we keep going.
+                    self.heartbeat.disown(lease)
+                    _expire_own_lease(self.run_dir, task.index, self.lease_ttl)
+                    self.registry.increment(
+                        "distributed.chunks_expired", worker=self.worker_id
+                    )
+                if protocol == "zombie":
+                    _wait_for_other_completion(
+                        self.run_dir,
+                        task.index,
+                        poll=self.heartbeat_interval,
+                        deadline=time.monotonic() + 60.0 * self.lease_ttl,
+                    )
+                worker_fault = None
+                if self.bundle.faults is not None:
+                    kind = self.bundle.faults.fault_for(task.index, attempt)
+                    if kind in _WORKER_FAULT_KINDS:
+                        worker_fault = kind
+                try:
+                    result = _run_chunk(task.fn, task.args, worker_fault)
+                    envelope = (
+                        result
+                        if isinstance(result, _ChunkEnvelope)
+                        else _ChunkEnvelope(payload=result)
+                    )
+                    if self.bundle.validate is not None:
+                        self.bundle.validate(task, envelope.payload)
+                except Exception as error:  # noqa: BLE001 - classified below
+                    if (
+                        policy.classify(error) == "permanent"
+                        or attempt >= policy.max_attempts
+                    ):
+                        self._record_failed(task, attempt, error)
+                        return False
+                    time.sleep(policy.backoff_seconds(task.index, attempt))
+                    continue
+                body = self._chunk_body(task, attempt, token, envelope)
+                if protocol == "torn_write":
+                    # A crash mid-append: the shard ends in a torn line
+                    # and this worker session dies without a done marker
+                    # or a released lease — survivors steal the chunk.
+                    _append_torn(self.shard, body)
+                    self.crashed = True
+                    raise _SimulatedCrash(
+                        f"torn_write fault on chunk {task.index}"
+                    )
+                self._append_shard(body)
+                _create_marker(_done_path(self.run_dir, task.index))
+                self.registry.increment(
+                    "distributed.chunks_completed", worker=self.worker_id
+                )
+                self.completed.append(task.index)
+                return True
+        finally:
+            self.heartbeat.disown(lease)
+            if not self.crashed:
+                _release_lease(self.run_dir, task.index, self.worker_id)
+
+    def run(self) -> dict:
+        """The main loop: scan, claim, execute until done/drained/failed."""
+        ordered = _worker_order(self.bundle.tasks, self.worker_id)
+        registration = _workers_dir(self.run_dir) / f"{self.worker_id}.json"
+        _write_atomic(
+            registration,
+            json.dumps(
+                {
+                    "worker": self.worker_id,
+                    "pid": os.getpid(),
+                    "host": socket.gethostname(),
+                    "started": time.time(),
+                },
+                sort_keys=True,
+            ).encode("utf-8"),
+        )
+        self._append_shard(
+            {
+                "kind": "header",
+                "version": PROTOCOL_VERSION,
+                "fingerprint": self.bundle.fingerprint,
+                "worker": self.worker_id,
+            }
+        )
+        self.heartbeat.start()
+        try:
+            while not self._should_stop():
+                pending = [
+                    task
+                    for task in ordered
+                    if not _done_path(self.run_dir, task.index).exists()
+                ]
+                if not pending:
+                    break
+                progressed = False
+                for task in pending:
+                    if self._should_stop():
+                        break
+                    if _done_path(self.run_dir, task.index).exists():
+                        continue
+                    token = _try_claim(
+                        self.run_dir,
+                        task.index,
+                        self.worker_id,
+                        self.lease_ttl,
+                        self.registry,
+                    )
+                    if token is None:
+                        continue
+                    if _done_path(self.run_dir, task.index).exists():
+                        # Lost race: completed between scan and claim.
+                        _release_lease(
+                            self.run_dir, task.index, self.worker_id
+                        )
+                        continue
+                    self._execute(task, token)
+                    progressed = True
+                    if (
+                        self.max_chunks is not None
+                        and len(self.completed) >= self.max_chunks
+                    ):
+                        return self._summary()
+                if not progressed:
+                    # Everything pending is leased elsewhere; wait for
+                    # done markers or lease expiry.
+                    time.sleep(self.poll_interval)
+        except _SimulatedCrash as crash:
+            self.crashed = True
+            logger.warning("worker %s: %s", self.worker_id, crash)
+        finally:
+            self.heartbeat.stop()
+            if not self.crashed:
+                # A worker record carries this session's lease-protocol
+                # metrics into the merged report, exactly once.
+                self.seq += 1
+                self._append_shard(
+                    {
+                        "kind": "worker",
+                        "worker": self.worker_id,
+                        "seq": self.seq,
+                        "metrics": self.registry.snapshot(),
+                    }
+                )
+                # Registration cleanup is cosmetic; status just shows a
+                # dead worker if the unlink loses to a crash.
+                with contextlib.suppress(OSError):
+                    registration.unlink()
+        return self._summary()
+
+    def _summary(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "completed": list(self.completed),
+            "crashed": self.crashed,
+        }
+
+
+def run_worker(
+    run_dir,
+    worker_id: Optional[str] = None,
+    max_chunks: Optional[int] = None,
+    manifest_timeout: float = 60.0,
+) -> dict:
+    """Run one worker session against a shared run directory.
+
+    Blocks until every chunk has a done marker, a failed marker or the
+    drain flag appears, or ``max_chunks`` chunks were completed by this
+    session.  Returns a summary dict (``worker``, ``completed``,
+    ``crashed``).  Safe to run any number of times, concurrently, on any
+    host sharing the directory.
+    """
+    run_dir = Path(run_dir)
+    manifest = _load_manifest(run_dir, manifest_timeout)
+    bundle: WorkBundle = pickle.loads((run_dir / _BUNDLE).read_bytes())
+    if bundle.fingerprint != manifest.get("fingerprint"):
+        raise ResilienceError(
+            f"bundle/manifest fingerprint mismatch in {run_dir}"
+        )
+    if worker_id is None:
+        worker_id = f"w{os.getpid()}-{socket.gethostname()}"
+    with isolated_registry() as registry:
+        session = _WorkerSession(
+            run_dir,
+            worker_id,
+            bundle,
+            manifest,
+            registry,
+            max_chunks=max_chunks,
+        )
+        return session.run()
+
+
+def _worker_process_main(run_dir: str, worker_id: str) -> None:
+    """Entrypoint of a spawned distributed worker process."""
+    try:
+        run_worker(run_dir, worker_id=worker_id)
+    except Exception:  # noqa: BLE001 - last-chance logging in a child
+        logger.exception("distributed worker %s failed", worker_id)
+        raise
+
+
+# -- worker management (drives the ``repro workers`` CLI) ----------------------
+
+
+def spawn_workers(
+    run_dir, count: int, prefix: str = "ext"
+) -> List[dict]:
+    """Launch detached worker processes attached to a run directory.
+
+    Each worker is an independent ``python`` process surviving this
+    caller (``start_new_session``), logging to
+    ``workers/<id>.log``.  Returns ``[{"worker", "pid"}, ...]``.
+    """
+    run_dir = Path(run_dir)
+    if count < 1:
+        raise ResilienceError("count must be >= 1")
+    _workers_dir(run_dir).mkdir(parents=True, exist_ok=True)
+    package_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(package_root)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    spawned = []
+    for i in range(count):
+        worker_id = f"{prefix}{i}-{os.getpid()}"
+        log_path = _workers_dir(run_dir) / f"{worker_id}.log"
+        with open(log_path, "ab") as log:
+            process = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    "import sys; from repro.harness.distributed import "
+                    "run_worker; run_worker(sys.argv[1], worker_id="
+                    "sys.argv[2])",
+                    str(run_dir),
+                    worker_id,
+                ],
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+                start_new_session=True,
+            )
+        spawned.append({"worker": worker_id, "pid": process.pid})
+    return spawned
+
+
+def workers_status(run_dir) -> dict:
+    """A point-in-time snapshot of one distributed run's coordination state.
+
+    Returns chunk progress (total/done/failed), the registered workers
+    (with same-host liveness), and every live lease with its owner,
+    fencing token, and heartbeat age — the operator's view behind
+    ``repro workers status``.
+    """
+    run_dir = Path(run_dir)
+    manifest_path = run_dir / _MANIFEST
+    manifest = (
+        json.loads(manifest_path.read_text())
+        if manifest_path.exists()
+        else {}
+    )
+    host = socket.gethostname()
+    workers = []
+    for path in sorted(_workers_dir(run_dir).glob("*.json")):
+        try:
+            info = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        alive: Optional[bool] = None
+        if info.get("host") == host and info.get("pid"):
+            try:
+                os.kill(int(info["pid"]), 0)
+                alive = True
+            except OSError:
+                alive = False
+        info["alive"] = alive
+        workers.append(info)
+    now = time.time()
+    leases = []
+    for path in sorted(_leases_dir(run_dir).glob("*.lease")):
+        lease = _read_lease(path)
+        if lease is None:
+            continue
+        leases.append(
+            {
+                "chunk": int(path.stem.split("-")[-1]),
+                "worker": lease["worker"],
+                "token": lease["token"],
+                "age_s": round(max(0.0, now - lease["mtime"]), 3),
+            }
+        )
+    failed = sorted(
+        int(path.stem.split("-")[-1])
+        for path in _failed_dir(run_dir).glob("*.json")
+    )
+    return {
+        "fingerprint": manifest.get("fingerprint"),
+        "tasks": {
+            "total": manifest.get("n_tasks"),
+            "done": sum(1 for _ in _done_dir(run_dir).glob("*.done")),
+            "failed": failed,
+        },
+        "workers": workers,
+        "leases": leases,
+        "drain": _drain_path(run_dir).exists(),
+    }
+
+
+def drain(run_dir) -> None:
+    """Raise the drain flag: every worker exits after its current chunk."""
+    _create_marker(_drain_path(Path(run_dir)))
+
+
+# -- deterministic merge -------------------------------------------------------
+
+
+def read_shards(run_dir, fingerprint: str) -> Tuple[List[dict], List[dict]]:
+    """All shard record bodies for one run, plus structured read warnings.
+
+    Shards are read with the torn-tail-tolerant journal reader; shards
+    bound to a different fingerprint are skipped with a warning.
+    """
+    records: List[dict] = []
+    warnings: List[dict] = []
+    for shard in sorted(_shards_dir(Path(run_dir)).glob("*.jsonl")):
+        bodies, shard_warnings = read_journal_records(shard)
+        warnings.extend(shard_warnings)
+        if not bodies:
+            continue
+        header = bodies[0]
+        if (
+            header.get("kind") != "header"
+            or header.get("fingerprint") != fingerprint
+        ):
+            warnings.append(
+                {
+                    "kind": "shard_fingerprint_mismatch",
+                    "path": str(shard),
+                    "line": 1,
+                }
+            )
+            continue
+        records.extend(bodies[1:])
+    return records, warnings
+
+
+def merge_shard_records(
+    tasks: Sequence[ChunkTask], records: Sequence[dict]
+) -> Tuple[Dict[int, dict], Dict[int, int], Dict[str, dict]]:
+    """Fold shard records into per-chunk winners, deterministically.
+
+    Pure function of the record *set*: records are first deduplicated by
+    ``(worker, seq)`` (so replayed or re-read shards collapse), then for
+    each chunk the winner is the record with the highest fencing token —
+    last-write-wins, so a zombie's stale completion can never clobber
+    the stealer's — with ties resolved by lowest worker id, then lowest
+    sequence number.  Returns ``(winners by chunk index, duplicate
+    record counts by chunk index, worker metrics by worker id)``; any
+    interleaving, duplication, or reordering of the input yields
+    identical output.
+    """
+    valid_indexes = {task.index for task in tasks}
+    by_chunk: Dict[int, Dict[tuple, dict]] = {}
+    worker_records: Dict[str, dict] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "chunk":
+            index = record.get("index")
+            if index not in valid_indexes:
+                continue
+            key = (str(record.get("worker")), int(record.get("seq", 0)))
+            by_chunk.setdefault(index, {})[key] = record
+        elif kind == "worker":
+            worker = str(record.get("worker"))
+            seq = int(record.get("seq", 0))
+            held = worker_records.get(worker)
+            if held is None or seq > int(held.get("seq", 0)):
+                worker_records[worker] = record
+    winners: Dict[int, dict] = {}
+    duplicates: Dict[int, int] = {}
+    for index, candidates in by_chunk.items():
+        ordered = sorted(
+            candidates.values(),
+            key=lambda r: (
+                -int(r.get("token", 0)),
+                str(r.get("worker")),
+                int(r.get("seq", 0)),
+            ),
+        )
+        winners[index] = ordered[0]
+        if len(candidates) > 1:
+            duplicates[index] = len(candidates) - 1
+    worker_metrics = {
+        worker: record.get("metrics")
+        for worker, record in sorted(worker_records.items())
+        if record.get("metrics") is not None
+    }
+    return winners, duplicates, worker_metrics
+
+
+# -- the driver ----------------------------------------------------------------
+
+
+def _spawn_local(run_dir: Path, count: int) -> list:
+    """Driver-side local worker processes (multiprocessing spawn)."""
+    import multiprocessing
+
+    context = multiprocessing.get_context("spawn")
+    processes = []
+    for i in range(count):
+        worker_id = f"w{i}-{os.getpid()}"
+        process = context.Process(
+            target=_worker_process_main,
+            args=(str(run_dir), worker_id),
+            name=f"repro-worker-{worker_id}",
+            daemon=False,
+        )
+        process.start()
+        processes.append(process)
+    return processes
+
+
+def _remaining(run_dir: Path, tasks: Sequence[ChunkTask]) -> List[int]:
+    return [
+        task.index
+        for task in tasks
+        if not _done_path(run_dir, task.index).exists()
+    ]
+
+
+def _any_failed(run_dir: Path) -> bool:
+    return any(True for _ in _failed_dir(run_dir).glob("*.json"))
+
+
+def _wait_for_run(
+    run_dir: Path,
+    tasks: Sequence[ChunkTask],
+    processes: list,
+    config: DistributedConfig,
+) -> None:
+    """Poll until every chunk is done, one failed, or the timeout fires.
+
+    If every driver-spawned worker died with work remaining (and no
+    external workers will appear), the driver becomes the worker of
+    last resort and finishes the run in-process — the distributed
+    analogue of the pool backend's serial degradation.
+    """
+    deadline = (
+        time.monotonic() + config.wait_timeout
+        if config.wait_timeout is not None
+        else None
+    )
+    sessions = 0
+    while True:
+        remaining = _remaining(run_dir, tasks)
+        if not remaining or _any_failed(run_dir):
+            return
+        if processes and not any(p.is_alive() for p in processes):
+            sessions += 1
+            if sessions > len(tasks) + 2:
+                raise ResilienceError(
+                    f"distributed run stalled with {len(remaining)} "
+                    f"chunk(s) remaining in {run_dir}"
+                )
+            logger.warning(
+                "all spawned workers exited with %d chunk(s) remaining; "
+                "driver finishing in-process",
+                len(remaining),
+            )
+            run_worker(run_dir, worker_id=f"driver{os.getpid()}-{sessions}")
+            continue
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ResilienceError(
+                f"distributed run did not complete within "
+                f"{config.wait_timeout}s; {len(remaining)} chunk(s) "
+                f"remaining in {run_dir}"
+            )
+        time.sleep(config.poll_interval)
+
+
+def run_distributed_chunks(
+    tasks: Sequence[ChunkTask],
+    policy: RetryPolicy,
+    journal: Optional[Journal],
+    faults: Optional[FaultPlan],
+    validate: Optional[Callable],
+    on_chunk: Optional[Callable],
+    encode: Optional[Callable],
+    decode: Optional[Callable],
+    keep_results: bool,
+    config: DistributedConfig,
+    fingerprint: str,
+) -> Tuple[Optional[List[object]], RunReport]:
+    """Drive one run through the work-stealing backend.
+
+    The driver initializes the shared run directory, pre-marks chunks
+    restored from ``journal`` as done, spawns ``config.spawn`` local
+    workers, waits for completion, then deterministically merges the
+    shards into the same ``(results, report)`` contract as
+    :func:`~repro.harness.resilience.run_chunks` — results in task
+    order, ``on_chunk`` fired per chunk, winners journaled for resume,
+    metrics merged exactly once.
+    """
+    indexes = [task.index for task in tasks]
+    if len(set(indexes)) != len(indexes):
+        raise ResilienceError("chunk task indexes must be unique")
+    tasks = list(tasks)
+    records = {
+        task.index: ChunkRecord(index=task.index, meta=task.meta)
+        for task in tasks
+    }
+    report = RunReport(
+        total_chunks=len(tasks),
+        chunks=[records[task.index] for task in tasks],
+    )
+    resumed = dict(journal.completed) if journal is not None else {}
+    if journal is not None:
+        for warning in journal.warnings:
+            report.events.append(
+                {"name": "resilience.journal_warning", "attrs": warning}
+            )
+
+    derived_dir = config.run_dir is None
+    run_dir = Path(
+        config.run_dir
+        if config.run_dir is not None
+        else default_run_dir(fingerprint)
+    )
+    bundle = WorkBundle(
+        fingerprint=fingerprint,
+        tasks=tuple(tasks),
+        policy=policy,
+        faults=faults,
+        validate=validate,
+        encode=encode,
+    )
+    init_run_dir(run_dir, bundle, config)
+    # A fresh driver session owns the run's lifecycle: clear a stale
+    # drain flag (a previous driver always drains on exit) and stale
+    # failure state so remaining chunks are retried; done markers and
+    # shards are kept — completed work is never repeated.
+    with contextlib.suppress(OSError):  # absent on a fresh run dir
+        _drain_path(run_dir).unlink()
+    for stale in _failed_dir(run_dir).glob("*.json"):
+        # A racing worker may rewrite the marker; retry logic below
+        # treats any surviving marker as current-session state anyway.
+        with contextlib.suppress(OSError):
+            stale.unlink()
+    for index in resumed:
+        if index in records:
+            _create_marker(_done_path(run_dir, index))
+
+    watch = Stopwatch().start()
+    processes: list = []
+    with get_tracer().span(
+        "distributed.run",
+        chunks=len(tasks),
+        spawn=config.spawn,
+        run_dir=str(run_dir),
+    ) as root:
+        try:
+            if config.spawn:
+                processes = _spawn_local(run_dir, config.spawn)
+            _wait_for_run(run_dir, tasks, processes, config)
+        finally:
+            drain(run_dir)
+            for process in processes:
+                process.join(timeout=60.0)
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+
+        shard_records, warnings = read_shards(run_dir, fingerprint)
+        winners, duplicates, worker_metrics = merge_shard_records(
+            tasks, shard_records
+        )
+        for warning in sorted(
+            warnings, key=lambda w: (w["path"], w["line"])
+        ):
+            report.events.append(
+                {"name": "resilience.journal_warning", "attrs": warning}
+            )
+
+        snapshots: List[Optional[dict]] = []
+        results: Dict[int, object] = {}
+        failure: Optional[Tuple[ChunkTask, str]] = None
+        for task in tasks:
+            record = records[task.index]
+            if task.index in resumed:
+                payload = resumed[task.index]
+                payload = decode(payload) if decode is not None else payload
+                record.status = "resumed"
+                record.attempts = journal.attempts.get(task.index, 1)
+                report.resumed += 1
+                report.completed += 1
+                snapshots.append(journal.metrics.get(task.index))
+            elif task.index in winners:
+                winner = winners[task.index]
+                payload = winner.get("payload")
+                attempts = int(winner.get("attempts", 1))
+                if journal is not None:
+                    journal.record(
+                        task.index,
+                        attempts,
+                        payload,
+                        metrics=winner.get("metrics"),
+                    )
+                payload = decode(payload) if decode is not None else payload
+                record.status = "completed"
+                record.attempts = attempts
+                report.completed += 1
+                if attempts > 1:
+                    report.retried += 1
+                snapshots.append(winner.get("metrics"))
+                get_tracer().record_span(
+                    "resilience.chunk",
+                    float(winner.get("wall_s", 0.0)),
+                    float(winner.get("cpu_s", 0.0)),
+                    chunk=task.index,
+                    attempts=attempts,
+                    worker=str(winner.get("worker")),
+                    meta=[str(m) for m in task.meta],
+                )
+                if task.index in duplicates:
+                    report.events.append(
+                        {
+                            "name": "distributed.duplicate",
+                            "attrs": {
+                                "chunk": task.index,
+                                "extra_records": duplicates[task.index],
+                                "winner_worker": str(winner.get("worker")),
+                                "winner_token": int(winner.get("token", 0)),
+                            },
+                        }
+                    )
+            else:
+                failed_path = _failed_path(run_dir, task.index)
+                reason = "no completion record"
+                if failed_path.exists():
+                    # An unreadable marker keeps the generic reason; the
+                    # chunk is still reported failed either way.
+                    with contextlib.suppress(OSError, json.JSONDecodeError):
+                        info = json.loads(failed_path.read_text())
+                        reason = info.get("error", reason)
+                        record.attempts = int(info.get("attempts", 0))
+                record.status = "failed"
+                if failure is None:
+                    failure = (task, reason)
+                continue
+            if keep_results:
+                results[task.index] = payload
+            if on_chunk is not None:
+                on_chunk(task, record, payload)
+
+        if report.resumed:
+            report.events.append(
+                {
+                    "name": "resilience.resumed",
+                    "attrs": {"chunks": report.resumed},
+                }
+            )
+        snapshots.extend(worker_metrics.values())
+        merged = merge_snapshots(*snapshots)
+        if any(
+            merged.get(kind)
+            for kind in ("counters", "gauges", "histograms")
+        ):
+            report.metrics = merged
+        report.events.append(
+            {
+                "name": "distributed.merged",
+                "attrs": {
+                    "workers": sorted(worker_metrics),
+                    "records": len(shard_records),
+                    "duplicates": sum(duplicates.values()),
+                },
+            }
+        )
+        report.elapsed_seconds = watch.stop().wall_s
+        root.set_attr("completed", report.completed)
+        root.set_attr("resumed", report.resumed)
+        root.set_attr("duplicates", sum(duplicates.values()))
+
+        if failure is not None:
+            task, reason = failure
+            meta = f" {task.meta}" if task.meta else ""
+            message = f"chunk {task.index}{meta} failed: {reason}"
+            report.failure = message
+            report.events.append(
+                {
+                    "name": "resilience.chunk_failed",
+                    "attrs": {"chunk": task.index, "reason": reason},
+                }
+            )
+            raise ChunkFailure(message, report)
+
+    if derived_dir:
+        # The coordination directory is scratch state once the journal
+        # and report carry everything; keep user-specified directories
+        # (external workers may still be draining against them).
+        shutil.rmtree(run_dir, ignore_errors=True)
+    ordered = (
+        [results[task.index] for task in tasks] if keep_results else None
+    )
+    return ordered, report

@@ -62,11 +62,36 @@ logger = logging.getLogger(__name__)
 JOURNAL_VERSION = 1
 
 #: Fault kinds a :class:`FaultPlan` may inject (see :class:`Fault`).
-FAULT_KINDS = ("transient", "permanent", "kill", "hang", "corrupt")
+#: The first five fire inside the worker entrypoint on any backend; the
+#: last three are lease-protocol faults interpreted by the distributed
+#: work-stealing backend (:mod:`repro.harness.distributed`) and ignored
+#: by the pool backend.
+FAULT_KINDS = (
+    "transient",
+    "permanent",
+    "kill",
+    "hang",
+    "corrupt",
+    "lease_expiry",
+    "zombie",
+    "torn_write",
+)
+
+#: Fault kinds handled inside :func:`_run_chunk` itself.
+_WORKER_FAULT_KINDS = ("transient", "permanent", "kill", "hang", "corrupt")
 
 
 class ResilienceError(RuntimeError):
     """Raised for unusable resilience configurations or journals."""
+
+
+class JournalFingerprintError(ResilienceError):
+    """An explicit resume hit a journal bound to a different fingerprint.
+
+    Raised instead of silently discarding the stale journal so a resume
+    against the wrong campaign/sweep configuration fails loudly, naming
+    both fingerprints (the CLI maps this to a one-line error, exit 2).
+    """
 
 
 class TransientWorkerError(RuntimeError):
@@ -256,6 +281,50 @@ class RetryPolicy:
 
 
 @dataclass(frozen=True)
+class DistributedConfig:
+    """Knobs for the work-stealing backend (:mod:`~repro.harness.distributed`).
+
+    ``run_dir`` is the shared directory workers coordinate through (lease
+    files, journal shards, heartbeats); None derives one under the
+    artifact cache from the run fingerprint.  ``spawn`` local worker
+    processes are started by the driver — ``spawn=0`` means workers are
+    attached externally with ``repro workers spawn``.  ``lease_ttl`` is
+    how stale a lease's heartbeat must be before another worker may steal
+    it; ``heartbeat_interval`` is how often owners refresh their leases;
+    ``poll_interval`` paces idle claim scans.  ``wait_timeout`` bounds
+    how long the driver waits for completion (None: forever).
+    """
+
+    run_dir: Optional[Path] = None
+    spawn: int = 1
+    lease_ttl: float = 10.0
+    heartbeat_interval: float = 1.0
+    poll_interval: float = 0.05
+    wait_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.spawn < 0:
+            raise ResilienceError("spawn must be >= 0")
+        if self.lease_ttl <= 0 or self.heartbeat_interval <= 0:
+            raise ResilienceError(
+                "lease_ttl and heartbeat_interval must be positive"
+            )
+        if self.heartbeat_interval >= self.lease_ttl:
+            raise ResilienceError(
+                "heartbeat_interval must be smaller than lease_ttl, or "
+                "healthy leases look stale and are stolen"
+            )
+        if self.poll_interval <= 0:
+            raise ResilienceError("poll_interval must be positive")
+        if self.wait_timeout is not None and self.wait_timeout <= 0:
+            raise ResilienceError("wait_timeout must be positive or None")
+
+
+#: Execution backends ``run_chunks`` can route a fan-out through.
+BACKENDS = ("pool", "distributed")
+
+
+@dataclass(frozen=True)
 class ResilienceConfig:
     """Bundle threading the resilient executor through campaigns and sweeps.
 
@@ -263,13 +332,25 @@ class ResilienceConfig:
     ``resume`` is set, callers that own a cache key (``cached_campaign``,
     the sweep CLI) derive a path next to their artifact.  ``faults`` is
     the deterministic fault-injection schedule (tests and smoke runs
-    only).
+    only).  ``backend`` selects how chunks fan out: ``"pool"`` is the
+    in-process driver with a ``ProcessPoolExecutor``; ``"distributed"``
+    is the journal-coordinated work-stealing backend where independent
+    worker processes (possibly on other hosts sharing ``distributed.run_dir``)
+    claim chunks through lease files.
     """
 
     policy: RetryPolicy = field(default_factory=RetryPolicy)
     journal_path: Optional[Path] = None
     resume: bool = False
     faults: Optional[FaultPlan] = None
+    backend: str = "pool"
+    distributed: Optional[DistributedConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ResilienceError(
+                f"unknown backend {self.backend!r}; choices are {BACKENDS}"
+            )
 
 
 # -- tasks and reports ---------------------------------------------------------
@@ -369,6 +450,88 @@ def _line_for(body: dict) -> bytes:
     ).encode("utf-8")
 
 
+def append_record(path: Path, body: dict) -> None:
+    """Durably append one checksummed record line to a journal file.
+
+    A single ``O_APPEND`` write followed by an fsync: a crash mid-write
+    leaves at most one truncated tail line, which
+    :func:`read_journal_records` skips with a warning.  A file whose
+    last byte is not a newline (a torn tail from an earlier crash) is
+    sealed with one first, so the new record starts on its own line
+    instead of extending the garbage.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        line = _line_for(body)
+        size = os.fstat(fd).st_size
+        if size:
+            with open(path, "rb") as reader:
+                reader.seek(size - 1)
+                if reader.read(1) != b"\n":
+                    line = b"\n" + line
+        os.write(fd, line)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_journal_records(path: Path) -> Tuple[List[dict], List[dict]]:
+    """Parse a checksummed JSONL journal, tolerating a torn final record.
+
+    Returns ``(bodies, warnings)``.  A final line truncated mid-write by
+    a crash is skipped with a structured ``journal_torn_tail`` warning
+    (never an exception).  Undecodable *interior* lines — a sealed tear
+    from an earlier crash, with appends continuing after it — are
+    skipped with a ``journal_corrupt_line`` warning; records beyond them
+    stay trustworthy because every line carries its own checksum, and a
+    line whose checksum does not match its body is skipped with a
+    ``journal_bad_checksum`` warning.  Each warning is a dict with
+    ``kind``, ``path``, and ``line`` (1-based) keys, ready to land in
+    ``RunReport.events``.
+    """
+    bodies: List[dict] = []
+    warnings: List[dict] = []
+
+    def warn(kind: str, lineno: int) -> None:
+        warnings.append({"kind": kind, "path": str(path), "line": lineno})
+
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        return bodies, warnings
+    for lineno, raw in enumerate(lines, start=1):
+        torn = False
+        body = None
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError:
+            torn = True
+        else:
+            body = record.get("body") if isinstance(record, dict) else None
+            if not isinstance(body, dict):
+                torn = True
+        if torn:
+            if lineno == len(lines):
+                warn("journal_torn_tail", lineno)
+            else:
+                warn("journal_corrupt_line", lineno)
+            continue
+        sha = hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()[:16]
+        if record.get("sha") != sha:
+            warn("journal_bad_checksum", lineno)
+            continue
+        bodies.append(body)
+    for warning in warnings:
+        logger.warning(
+            "journal %s: %s at line %d",
+            path,
+            warning["kind"],
+            warning["line"],
+        )
+    return bodies, warnings
+
+
 class Journal:
     """Append-only, checksummed JSONL record of completed chunks.
 
@@ -387,34 +550,44 @@ class Journal:
         completed: Dict[int, object],
         attempts: Dict[int, int],
         metrics: Optional[Dict[int, dict]] = None,
+        warnings: Optional[List[dict]] = None,
     ):
         self.path = Path(path)
         self.fingerprint = fingerprint
         self.completed = completed
         self.attempts = attempts
         self.metrics = metrics if metrics is not None else {}
+        #: Structured read anomalies (torn tail, bad checksums) collected
+        #: while loading; the executor replays them as report events.
+        self.warnings = warnings if warnings is not None else []
 
     @classmethod
-    def open(cls, path, fingerprint: str) -> "Journal":
+    def open(cls, path, fingerprint: str, strict: bool = False) -> "Journal":
         """Open or create a journal bound to ``fingerprint``.
 
         An existing file with a matching header is loaded (its completed
-        chunks become resumable); a stale, mismatched, or unreadable
-        file is discarded with a warning and the journal starts fresh.
+        chunks become resumable); a torn final record is skipped with a
+        structured warning, never an error.  A stale, mismatched, or
+        unreadable file is discarded with a warning and the journal
+        starts fresh — unless ``strict`` is set (an explicit ``--resume``),
+        in which case a readable header with the *wrong* fingerprint
+        raises :class:`JournalFingerprintError` naming both fingerprints
+        instead of silently restarting the run.
         """
         path = Path(path)
         completed: Dict[int, object] = {}
         attempts: Dict[int, int] = {}
         metrics: Dict[int, dict] = {}
+        warnings: List[dict] = []
         if path.exists():
-            loaded = cls._read(path, fingerprint)
+            loaded = cls._read(path, fingerprint, strict=strict)
             if loaded is None:
                 logger.warning(
                     "discarding stale or corrupt journal %s", path
                 )
                 path.unlink()
             else:
-                completed, attempts, metrics = loaded
+                completed, attempts, metrics, warnings = loaded
         if not path.exists():
             header = {
                 "kind": "header",
@@ -422,44 +595,33 @@ class Journal:
                 "fingerprint": fingerprint,
             }
             cls._append(path, header)
-        return cls(path, fingerprint, completed, attempts, metrics)
+        return cls(path, fingerprint, completed, attempts, metrics, warnings)
 
     @staticmethod
-    def _read(path: Path, fingerprint: str):
+    def _read(path: Path, fingerprint: str, strict: bool = False):
         """Parse a journal; None when the header does not match."""
         completed: Dict[int, object] = {}
         attempts: Dict[int, int] = {}
         metrics: Dict[int, dict] = {}
-        try:
-            lines = path.read_text().splitlines()
-        except OSError:
-            return None
-        if not lines:
-            return None
-        entries = []
-        for raw in lines:
-            try:
-                record = json.loads(raw)
-            except json.JSONDecodeError:
-                break  # truncated tail (or garbage): keep what we have
-            body = record.get("body") if isinstance(record, dict) else None
-            if not isinstance(body, dict):
-                break
-            sha = hashlib.sha256(
-                _canonical(body).encode("utf-8")
-            ).hexdigest()[:16]
-            if record.get("sha") != sha:
-                logger.warning(
-                    "skipping journal line with bad checksum in %s", path
-                )
-                continue
-            entries.append(body)
+        entries, warnings = read_journal_records(path)
         if not entries:
             return None
         header = entries[0]
+        if header.get("kind") != "header":
+            return None
         if (
-            header.get("kind") != "header"
-            or header.get("version") != JOURNAL_VERSION
+            strict
+            and header.get("version") == JOURNAL_VERSION
+            and header.get("fingerprint") != fingerprint
+        ):
+            raise JournalFingerprintError(
+                f"journal {path} was written for fingerprint "
+                f"{header.get('fingerprint')}, but the current run's "
+                f"fingerprint is {fingerprint}; the configuration changed "
+                "— delete the journal or rerun without --resume"
+            )
+        if (
+            header.get("version") != JOURNAL_VERSION
             or header.get("fingerprint") != fingerprint
         ):
             return None
@@ -471,17 +633,11 @@ class Journal:
             attempts[index] = int(body.get("attempts", 1))
             if body.get("metrics") is not None:
                 metrics[index] = body["metrics"]
-        return completed, attempts, metrics
+        return completed, attempts, metrics, warnings
 
     @staticmethod
     def _append(path: Path, body: dict) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, _line_for(body))
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+        append_record(path, body)
 
     def record(
         self, index: int, attempts: int, payload, metrics: Optional[dict] = None
@@ -689,6 +845,8 @@ class _ChunkRunner:
     def _resume_from_journal(self) -> None:
         if self.journal is None:
             return
+        for warning in self.journal.warnings:
+            self._event("resilience.journal_warning", **warning)
         for task in self.tasks:
             if task.index not in self.journal.completed:
                 continue
@@ -959,6 +1117,9 @@ def run_chunks(
     encode: Optional[Callable] = None,
     decode: Optional[Callable] = None,
     keep_results: bool = True,
+    backend: str = "pool",
+    distributed: Optional[DistributedConfig] = None,
+    fingerprint: Optional[str] = None,
 ) -> Tuple[Optional[List[object]], RunReport]:
     """Execute independent chunk tasks with retries, journaling, degradation.
 
@@ -990,7 +1151,40 @@ def run_chunks(
       the account is exact with no double counting).  Retries, pool
       restarts, and degradation land in ``report.events`` and — when
       tracing is configured — in the trace.
+    - ``backend="distributed"`` routes the fan-out through the
+      journal-coordinated work-stealing backend
+      (:mod:`repro.harness.distributed`): independent worker processes
+      sharing ``distributed.run_dir`` claim chunks via lease files and
+      append results to per-worker shards, which merge deterministically
+      into the same ``(results, report)`` a serial run produces.
+      Requires ``fingerprint`` (binding the shared run directory to one
+      exact task layout); ``workers`` is ignored in favor of
+      ``distributed.spawn``.
     """
+    if backend not in BACKENDS:
+        raise ResilienceError(
+            f"unknown backend {backend!r}; choices are {BACKENDS}"
+        )
+    if backend == "distributed":
+        from .distributed import run_distributed_chunks
+
+        if fingerprint is None:
+            raise ResilienceError(
+                "backend='distributed' requires a run fingerprint"
+            )
+        return run_distributed_chunks(
+            tasks=tasks,
+            policy=policy or RetryPolicy(),
+            journal=journal,
+            faults=faults,
+            validate=validate,
+            on_chunk=on_chunk,
+            encode=encode,
+            decode=decode,
+            keep_results=keep_results,
+            config=distributed or DistributedConfig(),
+            fingerprint=fingerprint,
+        )
     runner = _ChunkRunner(
         tasks=tasks,
         workers=workers,

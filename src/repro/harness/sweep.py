@@ -1082,14 +1082,16 @@ def _run_sweep_resilient(
         for i, (start, stop) in enumerate(_block_ranges(total, chunk_size))
     ]
 
+    fingerprint = _sweep_fingerprint(
+        predictor, total, block_size, chunk_size, columns
+    )
     journal = None
     if resilience.journal_path is not None:
-        fingerprint = _sweep_fingerprint(
-            predictor, total, block_size, chunk_size, columns
-        )
         if not resilience.resume and resilience.journal_path.exists():
             resilience.journal_path.unlink()
-        journal = Journal.open(resilience.journal_path, fingerprint)
+        journal = Journal.open(
+            resilience.journal_path, fingerprint, strict=resilience.resume
+        )
 
     # Reducers are streaming and order-sensitive (running argmaxes break
     # ties by first occurrence), so chunks completing out of order park
@@ -1130,6 +1132,9 @@ def _run_sweep_resilient(
         encode=_encode_sweep_payload,
         decode=_decode_sweep_payload,
         keep_results=False,
+        backend=resilience.backend,
+        distributed=resilience.distributed,
+        fingerprint=fingerprint,
     )
     if journal is not None:
         journal.discard()

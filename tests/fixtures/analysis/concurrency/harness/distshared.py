@@ -1,0 +1,13 @@
+"""Module-level mutable state a distributed worker must not write."""
+
+PENDING = []
+CLAIMED = 0
+
+
+def note_claim():
+    global CLAIMED
+    CLAIMED += 1
+
+
+def queue_result(value):
+    PENDING.append(value)

@@ -1,0 +1,17 @@
+"""Distributed worker spawned as a Process; its helpers touch globals."""
+
+from multiprocessing import Process
+
+from .distshared import note_claim, queue_result
+
+
+def worker_main(queue):
+    note_claim()
+    queue_result(queue)
+
+
+def spawn_workers(queue):
+    workers = [Process(target=worker_main, args=(queue,)) for _ in range(2)]
+    for proc in workers:
+        proc.start()
+    return workers

@@ -383,10 +383,15 @@ class TestProjectRulesOnRealTree:
 
     REPO = Path(__file__).resolve().parents[1]
 
-    def test_src_entrypoints_are_the_three_chunk_workers(self):
+    def test_src_entrypoints_are_the_known_worker_mains(self):
+        # Three pool chunk workers, plus the distributed backend's
+        # process main and its heartbeat thread (``Process``/``Thread``
+        # ``target`` callables count as worker entrypoints too).
         index = dataflow_index([self.REPO / "src"], root=self.REPO)
         assert index.entrypoints == (
             "repro.harness.campaign._simulate_chunk",
+            "repro.harness.distributed._Heartbeat._run",
+            "repro.harness.distributed._worker_process_main",
             "repro.harness.resilience._run_chunk",
             "repro.harness.sweep._sweep_chunk",
         )

@@ -159,6 +159,8 @@ class TestPerformance:
 class TestConcurrency:
     def test_worker_reachable_writes_fire_exactly(self):
         assert hits(run("concurrency")) == [
+            ("RACE001", "harness/distshared.py", 9),
+            ("RACE002", "harness/distshared.py", 13),
             ("RACE001", "harness/state.py", 9),
             ("RACE002", "harness/state.py", 13),
         ]
@@ -176,6 +178,25 @@ class TestConcurrency:
         root = FIXTURES / "concurrency" / "harness"
         report = analyze_paths([root / "state.py"], root=root)
         assert [f.rule for f in report.findings] == []
+
+    def test_process_target_is_an_entrypoint(self):
+        # ``spawner.py`` hands ``worker_main`` to ``Process(target=...)``
+        # — the distributed-worker analogue of ``pool.submit``.  Its
+        # helpers in ``distshared.py`` must fire, and the reach must come
+        # from the spawn site: without ``spawner.py`` there is no
+        # entrypoint and ``distshared.py`` is silent.
+        root = FIXTURES / "concurrency"
+        harness = root / "harness"
+        with_spawn = analyze_paths(
+            [harness / "spawner.py", harness / "distshared.py"], root=root
+        )
+        assert hits(with_spawn) == [
+            ("RACE001", "harness/distshared.py", 9),
+            ("RACE002", "harness/distshared.py", 13),
+        ]
+        assert all("worker_main" in f.message for f in with_spawn.findings)
+        alone = analyze_paths([harness / "distshared.py"], root=root)
+        assert [f.rule for f in alone.findings] == []
 
 
 class TestPurity:

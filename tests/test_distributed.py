@@ -1,0 +1,538 @@
+"""Tests for the distributed work-stealing backend.
+
+Covers the lease protocol (atomic claims, stealing, fencing tokens),
+the deterministic shard merge (including a hypothesis property over
+arbitrary interleavings/duplications), end-to-end equivalence with the
+serial executor, resume, and recovery from every injected protocol
+fault (lease expiry, zombie worker, torn journal write).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.distributed import (
+    WorkBundle,
+    _lease_path,
+    _read_lease,
+    _release_lease,
+    _try_claim,
+    drain,
+    init_run_dir,
+    merge_shard_records,
+    read_shards,
+    run_worker,
+    workers_status,
+)
+from repro.harness.resilience import (
+    ChunkTask,
+    DistributedConfig,
+    Fault,
+    FaultPlan,
+    Journal,
+    JournalFingerprintError,
+    ResilienceError,
+    RetryPolicy,
+    fingerprint_payload,
+    run_chunks,
+)
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+
+
+def _double_chunk(values):
+    """Module-level (picklable) chunk function for worker processes."""
+    return [v * 2 for v in values]
+
+
+def _tasks(n_chunks=4, chunk_len=3):
+    tasks = []
+    for i in range(n_chunks):
+        values = list(range(i * chunk_len, (i + 1) * chunk_len))
+        tasks.append(
+            ChunkTask(
+                index=i, fn=_double_chunk, args=(values,), size=chunk_len
+            )
+        )
+    return tasks
+
+
+def _fingerprint(tasks):
+    return fingerprint_payload(
+        {"kind": "test-distributed", "chunks": len(tasks)}
+    )
+
+
+def _serial_results(tasks):
+    results, _ = run_chunks(tasks, workers=1)
+    return results
+
+
+def _run_distributed(tasks, run_dir, spawn=2, faults=None, journal=None,
+                     lease_ttl=10.0, heartbeat_interval=0.5,
+                     on_chunk=None):
+    config = DistributedConfig(
+        run_dir=run_dir,
+        spawn=spawn,
+        lease_ttl=lease_ttl,
+        heartbeat_interval=heartbeat_interval,
+    )
+    return run_chunks(
+        tasks,
+        backend="distributed",
+        distributed=config,
+        fingerprint=_fingerprint(tasks),
+        faults=faults,
+        journal=journal,
+        on_chunk=on_chunk,
+    )
+
+
+def _init(tmp_path, tasks, lease_ttl=10.0, faults=None):
+    run_dir = tmp_path / "run"
+    bundle = WorkBundle(
+        fingerprint=_fingerprint(tasks), tasks=tuple(tasks), faults=faults
+    )
+    config = DistributedConfig(
+        run_dir=run_dir,
+        lease_ttl=lease_ttl,
+        heartbeat_interval=min(0.5, lease_ttl / 5.0),
+    )
+    init_run_dir(run_dir, bundle, config)
+    return run_dir
+
+
+class TestLeaseProtocol:
+    def test_claim_is_exclusive(self, tmp_path):
+        tasks = _tasks()
+        run_dir = _init(tmp_path, tasks)
+        registry = MetricsRegistry()
+        assert _try_claim(run_dir, 0, "w-a", 10.0, registry) == 1
+        assert _try_claim(run_dir, 0, "w-b", 10.0, registry) is None
+        counters = registry.snapshot()["counters"]
+        assert counters["distributed.chunks_claimed{worker=w-a}"] == 1
+
+    def test_reclaim_own_lease_keeps_token(self, tmp_path):
+        tasks = _tasks()
+        run_dir = _init(tmp_path, tasks)
+        registry = MetricsRegistry()
+        assert _try_claim(run_dir, 0, "w-a", 10.0, registry) == 1
+        assert _try_claim(run_dir, 0, "w-a", 10.0, registry) == 1
+
+    def test_stale_lease_stolen_with_higher_token(self, tmp_path):
+        tasks = _tasks()
+        run_dir = _init(tmp_path, tasks)
+        registry = MetricsRegistry()
+        assert _try_claim(run_dir, 0, "w-a", 10.0, registry) == 1
+        lease = _lease_path(run_dir, 0)
+        stale = time.time() - 100.0
+        os.utime(lease, (stale, stale))
+        assert _try_claim(run_dir, 0, "w-b", 10.0, registry) == 2
+        body = _read_lease(lease)
+        assert body["worker"] == "w-b" and body["token"] == 2
+        counters = registry.snapshot()["counters"]
+        assert counters["distributed.chunks_stolen{worker=w-b}"] == 1
+
+    def test_release_only_own_lease(self, tmp_path):
+        tasks = _tasks()
+        run_dir = _init(tmp_path, tasks)
+        registry = MetricsRegistry()
+        _try_claim(run_dir, 0, "w-a", 10.0, registry)
+        _release_lease(run_dir, 0, "w-b")
+        assert _read_lease(_lease_path(run_dir, 0))["worker"] == "w-a"
+        _release_lease(run_dir, 0, "w-a")
+        assert _read_lease(_lease_path(run_dir, 0)) is None
+
+    def test_init_rejects_fingerprint_mismatch(self, tmp_path):
+        tasks = _tasks()
+        run_dir = _init(tmp_path, tasks)
+        other = WorkBundle(fingerprint="deadbeef", tasks=tuple(tasks))
+        with pytest.raises(JournalFingerprintError) as excinfo:
+            init_run_dir(
+                run_dir, other, DistributedConfig(run_dir=run_dir)
+            )
+        message = str(excinfo.value)
+        assert _fingerprint(tasks) in message
+        assert "deadbeef" in message
+
+
+def _chunk_record(index, worker, token, seq, payload):
+    return {
+        "kind": "chunk",
+        "index": index,
+        "attempts": 1,
+        "payload": payload,
+        "metrics": {
+            "version": 1,
+            "counters": {"work.done": 1.0},
+            "gauges": {},
+            "histograms": {},
+        },
+        "wall_s": 0.1,
+        "cpu_s": 0.1,
+        "worker": worker,
+        "token": token,
+        "seq": seq,
+    }
+
+
+def _worker_record(worker, seq, counter):
+    return {
+        "kind": "worker",
+        "worker": worker,
+        "seq": seq,
+        "metrics": {
+            "version": 1,
+            "counters": {f"distributed.chunks_claimed{{worker={worker}}}":
+                         float(counter)},
+            "gauges": {},
+            "histograms": {},
+        },
+    }
+
+
+class TestMerge:
+    def test_highest_token_wins(self):
+        tasks = _tasks(n_chunks=1)
+        records = [
+            _chunk_record(0, "w-zombie", 1, 0, ["stale"]),
+            _chunk_record(0, "w-stealer", 2, 0, ["fresh"]),
+        ]
+        winners, duplicates, _ = merge_shard_records(tasks, records)
+        assert winners[0]["payload"] == ["fresh"]
+        assert duplicates == {0: 1}
+
+    def test_token_tie_resolved_by_worker_then_seq(self):
+        tasks = _tasks(n_chunks=1)
+        records = [
+            _chunk_record(0, "w-b", 1, 0, ["b"]),
+            _chunk_record(0, "w-a", 1, 5, ["a5"]),
+            _chunk_record(0, "w-a", 1, 2, ["a2"]),
+        ]
+        winners, duplicates, _ = merge_shard_records(tasks, records)
+        assert winners[0]["payload"] == ["a2"]
+        assert duplicates == {0: 2}
+
+    def test_exact_duplicates_collapse(self):
+        tasks = _tasks(n_chunks=1)
+        record = _chunk_record(0, "w-a", 1, 0, ["x"])
+        winners, duplicates, _ = merge_shard_records(
+            tasks, [record, dict(record), dict(record)]
+        )
+        assert winners[0]["payload"] == ["x"]
+        assert duplicates == {}
+
+    def test_worker_records_keep_highest_seq(self):
+        tasks = _tasks(n_chunks=1)
+        records = [
+            _worker_record("w-a", 2, 3),
+            _worker_record("w-a", 7, 9),
+            _worker_record("w-b", 1, 4),
+        ]
+        _, _, worker_metrics = merge_shard_records(tasks, records)
+        assert sorted(worker_metrics) == ["w-a", "w-b"]
+        counters = worker_metrics["w-a"]["counters"]
+        assert counters["distributed.chunks_claimed{worker=w-a}"] == 9.0
+
+    def test_unknown_chunk_indexes_ignored(self):
+        tasks = _tasks(n_chunks=2)
+        records = [
+            _chunk_record(0, "w-a", 1, 0, ["ok"]),
+            _chunk_record(99, "w-a", 1, 1, ["stray"]),
+        ]
+        winners, _, _ = merge_shard_records(tasks, records)
+        assert sorted(winners) == [0]
+
+
+class TestMergeProperty:
+    """Satellite: the merge is invariant under shard interleaving.
+
+    Any permutation, duplication, or re-sharding of the worker records
+    must fold to the identical winners, duplicate counts, and merged
+    metrics snapshot — this is what makes crash/zombie recovery safe.
+    """
+
+    @staticmethod
+    def _canonical_records():
+        records = []
+        for index in range(4):
+            for worker, token in (("w-a", 1), ("w-b", 2), ("w-c", 2)):
+                records.append(
+                    _chunk_record(
+                        index, worker, token, index, [worker, index, token]
+                    )
+                )
+        for i, worker in enumerate(("w-a", "w-b", "w-c")):
+            records.append(_worker_record(worker, 4, i + 1))
+        return records
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_any_interleaving_merges_identically(self, data):
+        tasks = _tasks(n_chunks=4)
+        canonical = self._canonical_records()
+        reference = merge_shard_records(tasks, canonical)
+
+        shuffled = data.draw(st.permutations(canonical))
+        # Duplicate a random sample of records (replayed shard reads).
+        extras = data.draw(
+            st.lists(
+                st.sampled_from(canonical), min_size=0, max_size=6
+            )
+        )
+        interleaved = list(shuffled) + [dict(r) for r in extras]
+        winners, duplicates, worker_metrics = merge_shard_records(
+            tasks, interleaved
+        )
+        ref_winners, ref_duplicates, ref_worker_metrics = reference
+        assert winners == ref_winners
+        assert duplicates == ref_duplicates
+        assert worker_metrics == ref_worker_metrics
+        merged = merge_snapshots(
+            *(winners[i]["metrics"] for i in sorted(winners)),
+            *worker_metrics.values(),
+        )
+        ref_merged = merge_snapshots(
+            *(ref_winners[i]["metrics"] for i in sorted(ref_winners)),
+            *ref_worker_metrics.values(),
+        )
+        assert merged == ref_merged
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        subset=st.lists(
+            st.integers(min_value=0, max_value=14),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_partial_record_sets_never_crash(self, subset):
+        tasks = _tasks(n_chunks=4)
+        canonical = self._canonical_records()
+        records = [canonical[i] for i in subset]
+        winners, duplicates, worker_metrics = merge_shard_records(
+            tasks, records
+        )
+        for index, winner in winners.items():
+            assert winner["index"] == index
+        assert all(count >= 1 for count in duplicates.values())
+
+
+class TestDistributedRun:
+    """End-to-end runs through ``run_chunks(backend='distributed')``."""
+
+    def test_single_worker_matches_serial(self, tmp_path):
+        tasks = _tasks()
+        results, report = _run_distributed(tasks, tmp_path / "run", spawn=1)
+        assert results == _serial_results(tasks)
+        assert report.completed == len(tasks)
+        assert report.failure is None
+
+    def test_two_workers_match_serial(self, tmp_path):
+        tasks = _tasks(n_chunks=6)
+        results, report = _run_distributed(tasks, tmp_path / "run", spawn=2)
+        assert results == _serial_results(tasks)
+        assert report.completed == len(tasks)
+        counters = report.metrics["counters"]
+        claimed = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("distributed.chunks_completed")
+        )
+        assert claimed == len(tasks)
+
+    def test_on_chunk_fires_in_task_order(self, tmp_path):
+        tasks = _tasks(n_chunks=5)
+        seen = []
+
+        def on_chunk(task, record, payload):
+            seen.append(task.index)
+
+        _run_distributed(
+            tasks, tmp_path / "run", spawn=2, on_chunk=on_chunk
+        )
+        assert seen == [task.index for task in tasks]
+
+    def test_requires_fingerprint(self):
+        with pytest.raises(ResilienceError):
+            run_chunks(_tasks(), backend="distributed")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ResilienceError):
+            run_chunks(_tasks(), backend="carrier-pigeon")
+
+    def test_resume_skips_journaled_chunks(self, tmp_path):
+        tasks = _tasks()
+        fingerprint = _fingerprint(tasks)
+        journal_path = tmp_path / "run.journal.jsonl"
+        journal = Journal.open(journal_path, fingerprint)
+        journal.record(0, 1, _double_chunk(tasks[0].args[0]))
+        journal.record(2, 1, _double_chunk(tasks[2].args[0]))
+        journal = Journal.open(journal_path, fingerprint)
+        results, report = _run_distributed(
+            tasks, tmp_path / "run", spawn=1, journal=journal
+        )
+        assert results == _serial_results(tasks)
+        assert report.resumed == 2
+        assert report.completed == len(tasks)
+
+    def test_worker_metrics_merge_exactly_once(self, tmp_path):
+        tasks = _tasks(n_chunks=6)
+        _, report = _run_distributed(tasks, tmp_path / "run", spawn=2)
+        counters = report.metrics["counters"]
+        completed = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("distributed.chunks_completed")
+        }
+        assert sum(completed.values()) == len(tasks)
+
+
+class TestDistributedFaults:
+    """Injected protocol faults recover with exact-result equivalence."""
+
+    def _run_with_fault(self, tmp_path, kind):
+        tasks = _tasks(n_chunks=4)
+        faults = FaultPlan((Fault(chunk=1, kind=kind),))
+        return tasks, _run_distributed(
+            tasks,
+            tmp_path / "run",
+            spawn=2,
+            faults=faults,
+            lease_ttl=1.0,
+            heartbeat_interval=0.2,
+        )
+
+    def test_lease_expiry_recovers(self, tmp_path):
+        tasks, (results, report) = self._run_with_fault(
+            tmp_path, "lease_expiry"
+        )
+        assert results == _serial_results(tasks)
+        assert report.completed == len(tasks)
+
+    def test_zombie_duplicate_resolved_by_fencing_token(self, tmp_path):
+        tasks, (results, report) = self._run_with_fault(tmp_path, "zombie")
+        assert results == _serial_results(tasks)
+        assert report.completed == len(tasks)
+        duplicates = [
+            event
+            for event in report.events
+            if event["name"] == "distributed.duplicate"
+        ]
+        assert duplicates
+        attrs = duplicates[0]["attrs"]
+        assert attrs["chunk"] == 1
+        assert attrs["winner_token"] >= 2
+
+    def test_zombie_chunk_metrics_merge_exactly_once(self, tmp_path):
+        tasks, (results, report) = self._run_with_fault(tmp_path, "zombie")
+        assert report.completed == len(tasks)
+        # Both sessions' worker metrics merge exactly once: the zombie's
+        # original claim plus the survivor's steal are each counted one
+        # time, never doubled by the duplicate completion record.
+        counters = report.metrics["counters"]
+        claimed = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("distributed.chunks_claimed")
+        )
+        stolen = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("distributed.chunks_stolen")
+        )
+        assert claimed == len(tasks) + 1
+        assert stolen == 1
+
+    def test_torn_write_recovers_with_warning(self, tmp_path):
+        tasks, (results, report) = self._run_with_fault(
+            tmp_path, "torn_write"
+        )
+        assert results == _serial_results(tasks)
+        assert report.completed == len(tasks)
+        warnings = [
+            event["attrs"]
+            for event in report.events
+            if event["name"] == "resilience.journal_warning"
+        ]
+        assert any(
+            w["kind"] in ("journal_torn_tail", "journal_bad_checksum")
+            for w in warnings
+        )
+
+    def test_transient_fault_retries_inside_worker(self, tmp_path):
+        tasks = _tasks(n_chunks=3)
+        faults = FaultPlan((Fault(chunk=1, kind="transient"),))
+        results, report = _run_distributed(
+            tasks, tmp_path / "run", spawn=1, faults=faults
+        )
+        assert results == _serial_results(tasks)
+        assert report.retried == 1
+
+
+class TestWorkerManagement:
+    def test_run_worker_completes_all_chunks(self, tmp_path):
+        tasks = _tasks()
+        run_dir = _init(tmp_path, tasks)
+        outcome = run_worker(run_dir, worker_id="solo")
+        assert sorted(outcome["completed"]) == [0, 1, 2, 3]
+        assert outcome["crashed"] is False
+        status = workers_status(run_dir)
+        assert status["tasks"]["done"] == len(tasks)
+
+    def test_max_chunks_limits_a_session(self, tmp_path):
+        tasks = _tasks()
+        run_dir = _init(tmp_path, tasks)
+        outcome = run_worker(run_dir, worker_id="limited", max_chunks=2)
+        assert len(outcome["completed"]) == 2
+        outcome = run_worker(run_dir, worker_id="finisher")
+        assert len(outcome["completed"]) == 2
+        assert workers_status(run_dir)["tasks"]["done"] == len(tasks)
+
+    def test_drain_stops_claiming(self, tmp_path):
+        tasks = _tasks()
+        run_dir = _init(tmp_path, tasks)
+        drain(run_dir)
+        outcome = run_worker(run_dir, worker_id="drained")
+        assert outcome["completed"] == []
+        assert workers_status(run_dir)["drain"] is True
+
+    def test_two_sequential_workers_split_the_run(self, tmp_path):
+        tasks = _tasks(n_chunks=6)
+        run_dir = _init(tmp_path, tasks)
+        first = run_worker(run_dir, worker_id="w-a", max_chunks=3)
+        second = run_worker(run_dir, worker_id="w-b")
+        done = sorted(first["completed"] + second["completed"])
+        assert done == [0, 1, 2, 3, 4, 5]
+        records, warnings = read_shards(run_dir, _fingerprint(tasks))
+        assert warnings == []
+        winners, duplicates, worker_metrics = merge_shard_records(
+            tasks, records
+        )
+        assert sorted(winners) == [0, 1, 2, 3, 4, 5]
+        assert duplicates == {}
+        assert sorted(worker_metrics) == ["w-a", "w-b"]
+        for task in tasks:
+            assert winners[task.index]["payload"] == _double_chunk(
+                task.args[0]
+            )
+
+    def test_crashed_worker_chunks_are_stolen(self, tmp_path):
+        tasks = _tasks(n_chunks=4)
+        faults = FaultPlan((Fault(chunk=0, kind="torn_write"),))
+        run_dir = _init(tmp_path, tasks, lease_ttl=0.5, faults=faults)
+        crashed = run_worker(run_dir, worker_id="victim")
+        assert crashed["crashed"] is True
+        assert 0 not in crashed["completed"]
+        time.sleep(0.6)  # let the victim's lease go stale
+        survivor = run_worker(run_dir, worker_id="survivor")
+        assert 0 in survivor["completed"]
+        records, _ = read_shards(run_dir, _fingerprint(tasks))
+        winners, _, _ = merge_shard_records(tasks, records)
+        assert winners[0]["payload"] == _double_chunk(tasks[0].args[0])
+        assert winners[0]["worker"] == "survivor"
+        assert winners[0]["token"] == 2

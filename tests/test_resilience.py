@@ -18,10 +18,13 @@ from repro.harness.resilience import (
     Fault,
     FaultPlan,
     Journal,
+    JournalFingerprintError,
     ResilienceConfig,
     ResilienceError,
     RetryPolicy,
     TransientWorkerError,
+    append_record,
+    read_journal_records,
     run_chunks,
 )
 from repro.simulator import Simulator
@@ -150,6 +153,96 @@ class TestJournal:
             reopened = Journal.open(path, "fp")
         assert reopened.completed == {0: [1]}
         assert any("checksum" in r.message for r in caplog.records)
+
+
+class TestTornTailEveryOffset:
+    """A crash can cut the final journal record at *any* byte.
+
+    The tolerant reader must, for every possible truncation point of the
+    last record, return exactly the intact records with a structured
+    ``journal_torn_tail`` warning — never an exception, never a partial
+    or corrupted body.
+    """
+
+    def _journal(self, tmp_path, n_records=3):
+        path = tmp_path / "torn.journal.jsonl"
+        for i in range(n_records):
+            append_record(
+                path,
+                {"kind": "chunk", "index": i, "payload": [i, i * 2]},
+            )
+        return path
+
+    def test_truncation_at_every_byte_of_last_record(self, tmp_path):
+        path = self._journal(tmp_path)
+        data = path.read_bytes()
+        intact = data[: data.rfind(b"\n", 0, len(data) - 1) + 1]
+        expected, clean_warnings = read_journal_records(path)
+        assert clean_warnings == []
+        assert [b["index"] for b in expected] == [0, 1, 2]
+
+        for cut in range(len(intact), len(data)):
+            path.write_bytes(data[:cut])
+            bodies, warnings = read_journal_records(path)
+            if cut in (len(intact), len(data) - 1):
+                # Cut exactly at the record boundary (nothing of the
+                # last record remains) or only the trailing newline is
+                # missing (the record is bytewise complete): no tear.
+                expected_tail = [0, 1] if cut == len(intact) else [0, 1, 2]
+                assert [b["index"] for b in bodies] == expected_tail
+                assert warnings == []
+                continue
+            assert [b["index"] for b in bodies] == [0, 1], (
+                f"wrong records after truncating at byte {cut}"
+            )
+            assert len(warnings) == 1, f"no warning at byte {cut}"
+            warning = warnings[0]
+            assert warning["kind"] in (
+                "journal_torn_tail",
+                "journal_bad_checksum",
+            )
+            assert warning["path"] == str(path)
+            assert warning["line"] == 3
+
+    def test_torn_tail_recovers_on_append(self, tmp_path):
+        path = self._journal(tmp_path, n_records=2)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])  # tear the second record
+        bodies, warnings = read_journal_records(path)
+        assert [b["index"] for b in bodies] == [0]
+        assert warnings[0]["kind"] in (
+            "journal_torn_tail",
+            "journal_bad_checksum",
+        )
+        # The journal stays appendable: the torn line is superseded by a
+        # rewritten record on the next line.
+        append_record(path, {"kind": "chunk", "index": 1, "payload": [1]})
+        bodies, _ = read_journal_records(path)
+        assert [b["index"] for b in bodies] == [0, 1]
+
+    def test_merged_tear_swallows_next_record(self, tmp_path):
+        path = self._journal(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        # A tear that ate record 1's newline merges it with record 2
+        # into one undecodable line: both are lost, with a warning —
+        # record 0 survives.
+        path.write_bytes(lines[0] + lines[1][:-10] + lines[2])
+        bodies, warnings = read_journal_records(path)
+        assert [b["index"] for b in bodies] == [0]
+        assert warnings
+        assert warnings[0]["line"] == 2
+
+    def test_sealed_tear_keeps_later_records(self, tmp_path):
+        path = self._journal(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        # A sealed interior tear (garbage line with its own newline, as
+        # append_record leaves after repairing a torn tail): the damage
+        # is skipped, but later checksummed records stay trusted.
+        path.write_bytes(lines[0] + lines[1][:-10] + b"\n" + lines[2])
+        bodies, warnings = read_journal_records(path)
+        assert [b["index"] for b in bodies] == [0, 2]
+        assert warnings[0]["kind"] == "journal_corrupt_line"
+        assert warnings[0]["line"] == 2
 
 
 class TestRunChunksSerial:
@@ -425,7 +518,9 @@ class TestCampaignResilience:
         self, resilience_scale, tmp_path
     ):
         """A journal written for one campaign shape must not leak results
-        into a differently-shaped campaign."""
+        into a differently-shaped campaign: an explicit resume fails
+        loudly naming both fingerprints, and a non-resume run discards
+        the stale journal and restarts."""
         journal_path = tmp_path / "campaign.journal.jsonl"
         with pytest.raises(ChunkFailure):
             run_campaign(
@@ -441,13 +536,22 @@ class TestCampaignResilience:
         other_scale = resilience_scale.with_overrides(
             name="resilience-other", n_train=7
         )
+        with pytest.raises(JournalFingerprintError) as excinfo:
+            run_campaign(
+                Simulator(),
+                scale=other_scale,
+                benchmarks=["gzip"],
+                resilience=ResilienceConfig(
+                    journal_path=journal_path, resume=True
+                ),
+            )
+        # The one-line error names both fingerprints (16 hex chars each).
+        assert str(excinfo.value).count("fingerprint") >= 2
         campaign = run_campaign(
             Simulator(),
             scale=other_scale,
             benchmarks=["gzip"],
-            resilience=ResilienceConfig(
-                journal_path=journal_path, resume=True
-            ),
+            resilience=ResilienceConfig(journal_path=journal_path),
         )
         assert campaign.run_report.resumed == 0
         assert len(campaign.train_points) == 7
